@@ -1,0 +1,143 @@
+// Command dagbench generates a benchmark DAG, executes the path-counting
+// workload both serially and on the concurrent worker-pool scheduler, checks
+// the two results against each other, and prints timing as JSON.
+//
+// Usage:
+//
+//	dagbench -nodes 1000 -p 0.01 -workers 8
+//	dagbench -type pipeline -stages 200 -width 4 -work 1000
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/core"
+)
+
+// result is the JSON report printed on success.
+type result struct {
+	Shape          string  `json:"shape"`
+	Nodes          int     `json:"nodes"`
+	Edges          int     `json:"edges"`
+	Depth          int     `json:"depth"`
+	EdgeProb       float64 `json:"edge_prob,omitempty"`
+	Stages         int     `json:"stages,omitempty"`
+	Width          int     `json:"width,omitempty"`
+	Seed           int64   `json:"seed"`
+	Work           int     `json:"work"`
+	Workers        int     `json:"workers"`
+	SinkPaths      uint64  `json:"sink_paths_mod64"`
+	Match          bool    `json:"match"`
+	SerialMillis   float64 `json:"serial_ms"`
+	ParallelMillis float64 `json:"parallel_ms"`
+	Speedup        float64 `json:"speedup"`
+}
+
+func main() {
+	var (
+		shapeFlag = flag.String("type", "random", "dag shape: random or pipeline")
+		nodes     = flag.Int("nodes", 1000, "node count (random shape)")
+		p         = flag.Float64("p", 0.01, "forward-edge probability (random shape)")
+		stages    = flag.Int("stages", 100, "pipeline depth (pipeline shape)")
+		width     = flag.Int("width", 4, "pipeline width (pipeline shape)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		work      = flag.Int("work", 0, "busy-work iterations per node (Nabbit W)")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "overall run timeout")
+	)
+	flag.Parse()
+
+	if err := run(*shapeFlag, *nodes, *p, *stages, *width, *seed, *work, *workers, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "dagbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(shapeFlag string, nodes int, p float64, stages, width int, seed int64, work, workers int, timeout time.Duration) error {
+	shape, err := core.ParseShape(shapeFlag)
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	d, err := core.Generate(core.GenConfig{
+		Shape:    shape,
+		Nodes:    nodes,
+		EdgeProb: p,
+		Stages:   stages,
+		Width:    width,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	t0 := time.Now()
+	serial := core.CountPathsSerial(d, work)
+	serialDur := time.Since(t0)
+
+	t1 := time.Now()
+	parallel, err := core.CountPathsParallel(ctx, d, workers, work)
+	if err != nil {
+		return err
+	}
+	parallelDur := time.Since(t1)
+
+	match := equal(serial, parallel)
+	res := result{
+		Shape:          shape.String(),
+		Nodes:          d.NumNodes(),
+		Edges:          d.NumEdges(),
+		Depth:          d.Depth(),
+		Seed:           seed,
+		Work:           work,
+		Workers:        workers,
+		SinkPaths:      core.TotalSinkPaths(d, serial),
+		Match:          match,
+		SerialMillis:   float64(serialDur.Microseconds()) / 1000,
+		ParallelMillis: float64(parallelDur.Microseconds()) / 1000,
+	}
+	if parallelDur > 0 {
+		res.Speedup = float64(serialDur) / float64(parallelDur)
+	}
+	switch shape {
+	case core.RandomShape:
+		res.EdgeProb = p
+	case core.PipelineShape:
+		res.Stages = stages
+		res.Width = width
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	if !match {
+		return fmt.Errorf("parallel path counts diverge from serial reference on %d-node %s dag (seed %d)",
+			d.NumNodes(), shape, seed)
+	}
+	return nil
+}
+
+func equal(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,3 @@
+module github.com/paper-repo-growth/conf_micro_daglisunbfg16
+
+go 1.22

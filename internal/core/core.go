@@ -1,1 +1,71 @@
+// Package core is the engine's public entry point: it re-exports the graph
+// model (internal/dag), the deterministic generators (internal/gen), and
+// the concurrent scheduler (internal/sched) so callers wire against one
+// package while the layers underneath stay independently testable.
 package core
+
+import (
+	"context"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/sched"
+)
+
+// Graph model re-exports.
+type (
+	DAG     = dag.DAG
+	NodeID  = dag.NodeID
+	Builder = dag.Builder
+)
+
+// ErrCycle is returned by Build when the assembled graph is cyclic.
+var ErrCycle = dag.ErrCycle
+
+// NewBuilder starts assembling a graph with n nodes.
+func NewBuilder(n int) *Builder { return dag.NewBuilder(n) }
+
+// Generator re-exports.
+type (
+	GenConfig = gen.Config
+	Shape     = gen.Shape
+)
+
+const (
+	RandomShape   = gen.Random
+	PipelineShape = gen.Pipeline
+)
+
+// ParseShape converts a CLI string ("random" or "pipeline") to a Shape.
+func ParseShape(s string) (Shape, error) { return gen.ParseShape(s) }
+
+// Generate builds a deterministic benchmark DAG from cfg.
+func Generate(cfg GenConfig) (*DAG, error) { return gen.Generate(cfg) }
+
+// RandomDAG generates a seeded random DAG with n nodes and forward-edge
+// probability p.
+func RandomDAG(n int, p float64, seed int64) (*DAG, error) { return gen.RandomDAG(n, p, seed) }
+
+// PipelineDAG generates a stages×width pipeline DAG.
+func PipelineDAG(stages, width int) (*DAG, error) { return gen.PipelineDAG(stages, width) }
+
+// Scheduler re-exports.
+type (
+	Compute  = sched.Compute
+	Executor = sched.Executor
+	Options  = sched.Options
+)
+
+// NewExecutor returns a worker-pool executor for d.
+func NewExecutor(d *DAG, opts Options) *Executor { return sched.New(d, opts) }
+
+// CountPathsParallel counts source→sink paths concurrently on a worker pool.
+func CountPathsParallel(ctx context.Context, d *DAG, workers, work int) ([]uint64, error) {
+	return sched.CountPathsParallel(ctx, d, workers, work)
+}
+
+// CountPathsSerial is the single-threaded correctness reference.
+func CountPathsSerial(d *DAG, work int) []uint64 { return sched.CountPathsSerial(d, work) }
+
+// TotalSinkPaths sums path counts over all sinks (mod 2^64).
+func TotalSinkPaths(d *DAG, values []uint64) uint64 { return sched.TotalSinkPaths(d, values) }

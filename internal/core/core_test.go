@@ -1,0 +1,42 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the whole engine through the core facade:
+// build → generate → execute → check against the serial reference.
+func TestFacadeEndToEnd(t *testing.T) {
+	d, err := Generate(GenConfig{Shape: RandomShape, Nodes: 300, EdgeProb: 0.02, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := CountPathsParallel(context.Background(), d, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := CountPathsSerial(d, 0)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("node %d: serial %d != parallel %d", i, serial[i], parallel[i])
+		}
+	}
+	if TotalSinkPaths(d, serial) == 0 {
+		t.Error("zero sink paths on connected random dag")
+	}
+}
+
+func TestFacadeBuilderCycle(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Build = %v, want ErrCycle", err)
+	}
+}

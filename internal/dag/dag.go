@@ -1,0 +1,186 @@
+// Package dag provides an immutable directed-acyclic-graph model: nodes,
+// edges, adjacency in both directions, in-degree tracking, cycle detection
+// via Kahn's algorithm, and topological ordering.
+//
+// Graphs are assembled with a Builder and frozen by Build, which rejects any
+// graph containing a cycle. Once built, a DAG is never mutated; all accessor
+// methods are safe for concurrent use.
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node in a DAG. Nodes are dense integers in [0, N).
+type NodeID int
+
+// ErrCycle is returned (wrapped) by Builder.Build when the graph is cyclic.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// Builder accumulates nodes and edges before freezing them into a DAG.
+// The zero value is not usable; create one with NewBuilder.
+type Builder struct {
+	n     int
+	edges [][2]NodeID
+	seen  map[[2]NodeID]struct{}
+}
+
+// NewBuilder returns a Builder for a graph with n nodes, identified 0..n-1.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("dag: negative node count %d", n))
+	}
+	return &Builder{n: n, seen: make(map[[2]NodeID]struct{})}
+}
+
+// AddEdge records a directed edge from u to v. Duplicate edges are ignored.
+// It returns an error if either endpoint is out of range or if u == v
+// (a self-loop, which is trivially a cycle).
+func (b *Builder) AddEdge(u, v NodeID) error {
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		return fmt.Errorf("dag: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("dag: self-loop on node %d: %w", u, ErrCycle)
+	}
+	key := [2]NodeID{u, v}
+	if _, dup := b.seen[key]; dup {
+		return nil
+	}
+	b.seen[key] = struct{}{}
+	b.edges = append(b.edges, key)
+	return nil
+}
+
+// Build freezes the accumulated graph into an immutable DAG. It runs Kahn's
+// algorithm to compute a topological order and returns an error wrapping
+// ErrCycle if any cycle exists.
+func (b *Builder) Build() (*DAG, error) {
+	d := &DAG{
+		n:      b.n,
+		adj:    make([][]NodeID, b.n),
+		radj:   make([][]NodeID, b.n),
+		indeg:  make([]int, b.n),
+		outdeg: make([]int, b.n),
+		nEdges: len(b.edges),
+	}
+	for _, e := range b.edges {
+		u, v := e[0], e[1]
+		d.adj[u] = append(d.adj[u], v)
+		d.radj[v] = append(d.radj[v], u)
+		d.indeg[v]++
+		d.outdeg[u]++
+	}
+	order, err := kahn(d)
+	if err != nil {
+		return nil, err
+	}
+	d.topo = order
+	return d, nil
+}
+
+// kahn computes a topological order of d, or an error wrapping ErrCycle if
+// fewer than n nodes can be ordered.
+func kahn(d *DAG) ([]NodeID, error) {
+	pending := make([]int, d.n)
+	copy(pending, d.indeg)
+	queue := make([]NodeID, 0, d.n)
+	for v := 0; v < d.n; v++ {
+		if pending[v] == 0 {
+			queue = append(queue, NodeID(v))
+		}
+	}
+	order := make([]NodeID, 0, d.n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range d.adj[u] {
+			pending[v]--
+			if pending[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != d.n {
+		return nil, fmt.Errorf("dag: %d of %d nodes unreachable by Kahn's algorithm: %w",
+			d.n-len(order), d.n, ErrCycle)
+	}
+	return order, nil
+}
+
+// DAG is an immutable directed acyclic graph. Construct one via Builder.
+type DAG struct {
+	n      int
+	nEdges int
+	adj    [][]NodeID // children of each node
+	radj   [][]NodeID // parents of each node
+	indeg  []int
+	outdeg []int
+	topo   []NodeID
+}
+
+// NumNodes returns the number of nodes.
+func (d *DAG) NumNodes() int { return d.n }
+
+// NumEdges returns the number of distinct edges.
+func (d *DAG) NumEdges() int { return d.nEdges }
+
+// Children returns the out-neighbors of id. The returned slice is shared and
+// must not be modified.
+func (d *DAG) Children(id NodeID) []NodeID { return d.adj[id] }
+
+// Parents returns the in-neighbors of id. The returned slice is shared and
+// must not be modified.
+func (d *DAG) Parents(id NodeID) []NodeID { return d.radj[id] }
+
+// InDegree returns the number of edges entering id.
+func (d *DAG) InDegree(id NodeID) int { return d.indeg[id] }
+
+// OutDegree returns the number of edges leaving id.
+func (d *DAG) OutDegree(id NodeID) int { return d.outdeg[id] }
+
+// TopoOrder returns a topological order of all nodes. The returned slice is
+// shared and must not be modified.
+func (d *DAG) TopoOrder() []NodeID { return d.topo }
+
+// Sources returns all nodes with in-degree zero, in ascending ID order.
+func (d *DAG) Sources() []NodeID {
+	var s []NodeID
+	for v := 0; v < d.n; v++ {
+		if d.indeg[v] == 0 {
+			s = append(s, NodeID(v))
+		}
+	}
+	return s
+}
+
+// Sinks returns all nodes with out-degree zero, in ascending ID order.
+func (d *DAG) Sinks() []NodeID {
+	var s []NodeID
+	for v := 0; v < d.n; v++ {
+		if d.outdeg[v] == 0 {
+			s = append(s, NodeID(v))
+		}
+	}
+	return s
+}
+
+// Depth returns the length in edges of the longest path in the DAG
+// (the critical-path length, i.e. the span of the task graph).
+func (d *DAG) Depth() int {
+	depth := make([]int, d.n)
+	max := 0
+	for _, u := range d.topo {
+		for _, v := range d.adj[u] {
+			if depth[u]+1 > depth[v] {
+				depth[v] = depth[u] + 1
+				if depth[v] > max {
+					max = depth[v]
+				}
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,166 @@
+// Package gen provides deterministic, seeded DAG generators for benchmark
+// workloads. Two shapes are supported, mirroring the Nabbit random-DAG
+// microbenchmark knobs <R, NodeWork, dag_type>:
+//
+//   - Random: nodes 0..N-1 with each forward edge (i, j), i < j, present
+//     independently with probability p. Node 0 is forced to be the unique
+//     source and node N-1 the unique sink, so source→sink path counting is
+//     always well defined.
+//   - Pipeline: a stages×width grid where node (s, i) feeds (s+1, j) for
+//     |i-j| <= 1, bracketed by a dedicated source and sink. This produces a
+//     deep, narrow task graph with large span — the shape that stresses
+//     scheduler depth.
+//
+// All randomness flows from Config.Seed, so a given Config always produces
+// an identical DAG.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
+)
+
+// Shape selects which generator a Config drives.
+type Shape int
+
+const (
+	// Random is a forward-edge Erdős–Rényi style DAG.
+	Random Shape = iota
+	// Pipeline is a stages×width grid DAG with nearest-neighbor edges.
+	Pipeline
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case Random:
+		return "random"
+	case Pipeline:
+		return "pipeline"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// ParseShape converts a CLI string ("random" or "pipeline") to a Shape.
+func ParseShape(s string) (Shape, error) {
+	switch s {
+	case "random":
+		return Random, nil
+	case "pipeline":
+		return Pipeline, nil
+	default:
+		return 0, fmt.Errorf("gen: unknown dag shape %q (want random or pipeline)", s)
+	}
+}
+
+// Config parameterizes a generator run.
+type Config struct {
+	Shape    Shape
+	Nodes    int     // total node count (Random); ignored by Pipeline
+	EdgeProb float64 // forward-edge probability p (Random only)
+	Stages   int     // pipeline depth (Pipeline only)
+	Width    int     // pipeline width (Pipeline only)
+	Seed     int64   // PRNG seed; equal seeds give equal DAGs
+}
+
+// Generate builds the DAG described by cfg.
+func Generate(cfg Config) (*dag.DAG, error) {
+	switch cfg.Shape {
+	case Random:
+		return RandomDAG(cfg.Nodes, cfg.EdgeProb, cfg.Seed)
+	case Pipeline:
+		return PipelineDAG(cfg.Stages, cfg.Width)
+	default:
+		return nil, fmt.Errorf("gen: unknown dag shape %v", cfg.Shape)
+	}
+}
+
+// RandomDAG generates a random DAG with n nodes. Every forward pair (i, j)
+// with i < j gets an edge with probability p. To keep the source→sink path
+// count well defined, every node except 0 is guaranteed at least one parent
+// and every node except n-1 at least one child (fill-in edges are drawn from
+// the same seeded PRNG, so the result is still fully deterministic).
+func RandomDAG(n int, p float64, seed int64) (*dag.DAG, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: random dag needs >= 2 nodes, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("gen: edge probability %v outside [0,1]", p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(n)
+	hasParent := make([]bool, n)
+	hasChild := make([]bool, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				if err := b.AddEdge(dag.NodeID(i), dag.NodeID(j)); err != nil {
+					return nil, err
+				}
+				hasParent[j] = true
+				hasChild[i] = true
+			}
+		}
+	}
+	// Connectivity fill-in: orphaned interior nodes get a random earlier
+	// parent; childless interior nodes get a random later child.
+	for j := 1; j < n; j++ {
+		if !hasParent[j] {
+			i := rng.Intn(j)
+			if err := b.AddEdge(dag.NodeID(i), dag.NodeID(j)); err != nil {
+				return nil, err
+			}
+			hasChild[i] = true
+		}
+	}
+	for i := n - 2; i >= 0; i-- {
+		if !hasChild[i] {
+			j := i + 1 + rng.Intn(n-1-i)
+			if err := b.AddEdge(dag.NodeID(i), dag.NodeID(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build()
+}
+
+// PipelineDAG generates a stages×width grid with a dedicated source (node 0)
+// and sink (last node). Grid node (s, i) connects to (s+1, j) for every j
+// with |i-j| <= 1. The source feeds all of stage 0; all of the last stage
+// feeds the sink. The shape is fully determined by its dimensions, so no
+// seed is involved.
+func PipelineDAG(stages, width int) (*dag.DAG, error) {
+	if stages < 1 || width < 1 {
+		return nil, fmt.Errorf("gen: pipeline needs stages >= 1 and width >= 1, got %dx%d", stages, width)
+	}
+	n := stages*width + 2
+	source := dag.NodeID(0)
+	sink := dag.NodeID(n - 1)
+	// Grid node (s, i) is ID 1 + s*width + i.
+	id := func(s, i int) dag.NodeID { return dag.NodeID(1 + s*width + i) }
+	b := dag.NewBuilder(n)
+	for i := 0; i < width; i++ {
+		if err := b.AddEdge(source, id(0, i)); err != nil {
+			return nil, err
+		}
+		if err := b.AddEdge(id(stages-1, i), sink); err != nil {
+			return nil, err
+		}
+	}
+	for s := 0; s < stages-1; s++ {
+		for i := 0; i < width; i++ {
+			for j := i - 1; j <= i+1; j++ {
+				if j < 0 || j >= width {
+					continue
+				}
+				if err := b.AddEdge(id(s, i), id(s+1, j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build()
+}

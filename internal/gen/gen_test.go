@@ -1,0 +1,153 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
+)
+
+func TestRandomDAGDeterministic(t *testing.T) {
+	a, err := RandomDAG(200, 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomDAG(200, 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		ca, cb := a.Children(dag.NodeID(v)), b.Children(dag.NodeID(v))
+		if len(ca) != len(cb) {
+			t.Fatalf("node %d: child counts differ: %d vs %d", v, len(ca), len(cb))
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("node %d child %d differs: %d vs %d", v, i, ca[i], cb[i])
+			}
+		}
+	}
+	c, err := RandomDAG(200, 0.05, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumEdges() == a.NumEdges() && sameChildren(a, c) {
+		t.Error("different seeds produced identical DAGs")
+	}
+}
+
+func sameChildren(a, b *dag.DAG) bool {
+	for v := 0; v < a.NumNodes(); v++ {
+		ca, cb := a.Children(dag.NodeID(v)), b.Children(dag.NodeID(v))
+		if len(ca) != len(cb) {
+			return false
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRandomDAGConnectivity(t *testing.T) {
+	for _, p := range []float64{0, 0.01, 0.3} {
+		d, err := RandomDAG(100, p, 7)
+		if err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+		// Node 0 is the unique source, node n-1 the unique sink.
+		for v := 1; v < d.NumNodes(); v++ {
+			if d.InDegree(dag.NodeID(v)) == 0 {
+				t.Errorf("p=%v: node %d has no parent", p, v)
+			}
+		}
+		for v := 0; v < d.NumNodes()-1; v++ {
+			if d.OutDegree(dag.NodeID(v)) == 0 {
+				t.Errorf("p=%v: node %d has no child", p, v)
+			}
+		}
+	}
+}
+
+func TestRandomDAGValidation(t *testing.T) {
+	if _, err := RandomDAG(1, 0.5, 1); err == nil {
+		t.Error("RandomDAG(1, ...) succeeded, want error")
+	}
+	if _, err := RandomDAG(10, -0.1, 1); err == nil {
+		t.Error("RandomDAG with p<0 succeeded, want error")
+	}
+	if _, err := RandomDAG(10, 1.5, 1); err == nil {
+		t.Error("RandomDAG with p>1 succeeded, want error")
+	}
+}
+
+func TestPipelineDAGShape(t *testing.T) {
+	stages, width := 10, 3
+	d, err := PipelineDAG(stages, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.NumNodes(), stages*width+2; got != want {
+		t.Fatalf("NumNodes = %d, want %d", got, want)
+	}
+	if got := len(d.Sources()); got != 1 {
+		t.Errorf("len(Sources) = %d, want 1", got)
+	}
+	if got := len(d.Sinks()); got != 1 {
+		t.Errorf("len(Sinks) = %d, want 1", got)
+	}
+	// Depth is source → stage 0 → ... → stage stages-1 → sink.
+	if got, want := d.Depth(), stages+1; got != want {
+		t.Errorf("Depth = %d, want %d", got, want)
+	}
+	// Interior grid column feeds 3 neighbors; edge columns feed 2.
+	mid := dag.NodeID(1 + 0*width + 1) // stage 0, column 1
+	if got := d.OutDegree(mid); got != 3 {
+		t.Errorf("OutDegree(stage0,col1) = %d, want 3", got)
+	}
+}
+
+func TestPipelineDAGValidation(t *testing.T) {
+	if _, err := PipelineDAG(0, 3); err == nil {
+		t.Error("PipelineDAG(0,3) succeeded, want error")
+	}
+	if _, err := PipelineDAG(3, 0); err == nil {
+		t.Error("PipelineDAG(3,0) succeeded, want error")
+	}
+}
+
+func TestGenerateDispatch(t *testing.T) {
+	d, err := Generate(Config{Shape: Random, Nodes: 50, EdgeProb: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() != 50 {
+		t.Errorf("random NumNodes = %d, want 50", d.NumNodes())
+	}
+	d, err = Generate(Config{Shape: Pipeline, Stages: 5, Width: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() != 12 {
+		t.Errorf("pipeline NumNodes = %d, want 12", d.NumNodes())
+	}
+	if _, err := Generate(Config{Shape: Shape(99)}); err == nil {
+		t.Error("Generate with bogus shape succeeded, want error")
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	for s, want := range map[string]Shape{"random": Random, "pipeline": Pipeline} {
+		got, err := ParseShape(s)
+		if err != nil || got != want {
+			t.Errorf("ParseShape(%q) = %v, %v; want %v, nil", s, got, err, want)
+		}
+	}
+	if _, err := ParseShape("ring"); err == nil {
+		t.Error(`ParseShape("ring") succeeded, want error`)
+	}
+}
