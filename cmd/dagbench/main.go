@@ -1,6 +1,8 @@
 // Command dagbench generates a benchmark DAG, executes the path-counting
 // workload both serially and on the concurrent worker-pool scheduler, checks
-// the two results against each other, and prints timing as JSON.
+// the two results against each other, and prints timing as JSON. It drives
+// the same execution path as the dagd service (core.ExecuteRun), so the CLI
+// and the daemon can never report differently for the same spec.
 //
 // Usage:
 //
@@ -11,6 +13,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,23 +23,16 @@ import (
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/core"
 )
 
-// result is the JSON report printed on success.
-type result struct {
-	Shape          string  `json:"shape"`
-	Nodes          int     `json:"nodes"`
-	Edges          int     `json:"edges"`
-	Depth          int     `json:"depth"`
-	EdgeProb       float64 `json:"edge_prob,omitempty"`
-	Stages         int     `json:"stages,omitempty"`
-	Width          int     `json:"width,omitempty"`
-	Seed           int64   `json:"seed"`
-	Work           int     `json:"work"`
-	Workers        int     `json:"workers"`
-	SinkPaths      uint64  `json:"sink_paths_mod64"`
-	Match          bool    `json:"match"`
-	SerialMillis   float64 `json:"serial_ms"`
-	ParallelMillis float64 `json:"parallel_ms"`
-	Speedup        float64 `json:"speedup"`
+// report is the JSON output printed per run: the spec knobs followed by
+// the measured result (match, sink paths, timings, speedup).
+type report struct {
+	Shape    string  `json:"shape"`
+	EdgeProb float64 `json:"edge_prob,omitempty"`
+	Stages   int     `json:"stages,omitempty"`
+	Width    int     `json:"width,omitempty"`
+	Seed     int64   `json:"seed"`
+	Work     int     `json:"work"`
+	core.RunResult
 }
 
 func main() {
@@ -67,77 +63,46 @@ func run(shapeFlag string, nodes int, p float64, stages, width int, seed int64, 
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	d, err := core.Generate(core.GenConfig{
-		Shape:    shape,
-		Nodes:    nodes,
-		EdgeProb: p,
-		Stages:   stages,
-		Width:    width,
-		Seed:     seed,
-	})
-	if err != nil {
-		return err
+	spec := core.RunSpec{
+		Config: core.GenConfig{
+			Shape:    shape,
+			Nodes:    nodes,
+			EdgeProb: p,
+			Stages:   stages,
+			Width:    width,
+			Seed:     seed,
+		},
+		Work:    work,
+		Workers: workers,
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 
-	t0 := time.Now()
-	serial := core.CountPathsSerial(d, work)
-	serialDur := time.Since(t0)
-
-	t1 := time.Now()
-	parallel, err := core.CountPathsParallel(ctx, d, workers, work)
-	if err != nil {
+	res, err := core.ExecuteRun(ctx, spec, workers)
+	if err != nil && res == nil {
 		return err
 	}
-	parallelDur := time.Since(t1)
 
-	match := equal(serial, parallel)
-	res := result{
-		Shape:          shape.String(),
-		Nodes:          d.NumNodes(),
-		Edges:          d.NumEdges(),
-		Depth:          d.Depth(),
-		Seed:           seed,
-		Work:           work,
-		Workers:        workers,
-		SinkPaths:      core.TotalSinkPaths(d, serial),
-		Match:          match,
-		SerialMillis:   float64(serialDur.Microseconds()) / 1000,
-		ParallelMillis: float64(parallelDur.Microseconds()) / 1000,
-	}
-	if parallelDur > 0 {
-		res.Speedup = float64(serialDur) / float64(parallelDur)
+	rep := report{
+		Shape:     shape.String(),
+		Seed:      seed,
+		Work:      work,
+		RunResult: *res,
 	}
 	switch shape {
 	case core.RandomShape:
-		res.EdgeProb = p
+		rep.EdgeProb = p
 	case core.PipelineShape:
-		res.Stages = stages
-		res.Width = width
+		rep.Stages = stages
+		rep.Width = width
 	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(res); err != nil {
-		return err
+	if encErr := enc.Encode(rep); encErr != nil {
+		return errors.Join(err, encErr)
 	}
-	if !match {
-		return fmt.Errorf("parallel path counts diverge from serial reference on %d-node %s dag (seed %d)",
-			d.NumNodes(), shape, seed)
-	}
-	return nil
-}
-
-func equal(a, b []uint64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+	// A mismatch still prints its report (match false) before failing.
+	return err
 }

@@ -1,0 +1,60 @@
+// Command dagd is the long-running DAG execution service: it accepts run
+// specs over a JSON HTTP API, executes them concurrently through the
+// worker-pool scheduler, and tracks each run's lifecycle
+// (queued → running → succeeded|failed|cancelled) in an in-memory store.
+//
+// Usage:
+//
+//	dagd -addr :8080 -queue 256 -dispatchers 4
+//
+// Submit and poll with curl:
+//
+//	curl -s -X POST localhost:8080/v1/runs -d '{"shape":"pipeline","stages":100,"width":4}'
+//	curl -s localhost:8080/v1/runs/<id>
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight runs
+// for up to -drain-timeout before force-cancelling them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/core"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		queueDepth   = flag.Int("queue", 256, "dispatch queue depth (max waiting runs)")
+		dispatchers  = flag.Int("dispatchers", 0, "concurrent run executions (0 = NumCPU)")
+		runWorkers   = flag.Int("run-workers", 0, "default scheduler pool size per run (0 = NumCPU)")
+		retainRuns   = flag.Int("retain", 0, "terminal runs to keep, oldest evicted first (0 = 4096, negative = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight runs on shutdown")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	svc := core.NewService(core.ServiceOptions{
+		QueueDepth:        *queueDepth,
+		Dispatchers:       *dispatchers,
+		DefaultRunWorkers: *runWorkers,
+		RetainRuns:        *retainRuns,
+	})
+	srv := server.New(svc)
+	err := srv.ListenAndServe(ctx, *addr, *drainTimeout)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dagd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dispatch"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+)
+
+// Run-service re-exports, so service callers (internal/server, cmd/dagd)
+// wire against core alone just like engine callers do.
+type (
+	RunSpec   = run.Spec
+	RunState  = run.State
+	RunResult = run.Result
+	RunInfo   = run.Run
+)
+
+// Run lifecycle states.
+const (
+	RunQueued    = run.StateQueued
+	RunRunning   = run.StateRunning
+	RunSucceeded = run.StateSucceeded
+	RunFailed    = run.StateFailed
+	RunCancelled = run.StateCancelled
+)
+
+// Run-service errors.
+var (
+	ErrRunNotFound  = run.ErrNotFound
+	ErrRunTerminal  = run.ErrTerminal
+	ErrRunMismatch  = run.ErrMismatch
+	ErrQueueFull    = dispatch.ErrQueueFull
+	ErrShuttingDown = dispatch.ErrShuttingDown
+)
+
+// ParseRunState converts a state name ("queued", "running", ...) to a RunState.
+func ParseRunState(name string) (RunState, error) { return run.ParseState(name) }
+
+// ExecuteRun performs one run end to end (generate → serial reference →
+// parallel scheduler → self-check) outside any service — the one-shot path
+// dagbench uses, identical to what dagd dispatchers execute.
+func ExecuteRun(ctx context.Context, spec RunSpec, defaultWorkers int) (*RunResult, error) {
+	return run.Execute(ctx, spec, defaultWorkers)
+}
+
+// ServiceOptions sizes a Service.
+type ServiceOptions struct {
+	// QueueDepth bounds the dispatch queue (0 = 256).
+	QueueDepth int
+	// Dispatchers is how many runs execute concurrently (0 = NumCPU).
+	Dispatchers int
+	// DefaultRunWorkers is the per-run scheduler pool size for specs that
+	// leave Workers at 0 (0 = NumCPU).
+	DefaultRunWorkers int
+	// RetainRuns bounds how many terminal runs are kept, oldest-finished
+	// evicted first (0 = 4096, negative = unlimited).
+	RetainRuns int
+}
+
+// ServiceStats is a snapshot of service load for health reporting.
+type ServiceStats struct {
+	Runs        int            `json:"runs"`
+	ByState     map[string]int `json:"by_state"`
+	QueueLen    int            `json:"queue_len"`
+	QueueDepth  int            `json:"queue_depth"`
+	Dispatchers int            `json:"dispatchers"`
+}
+
+// Service is the long-running run-execution facade: an in-memory run store
+// plus a dispatcher pool executing submitted specs through the scheduler.
+// It is what dagd serves over HTTP.
+type Service struct {
+	store *run.Store
+	disp  *dispatch.Dispatcher
+}
+
+// NewService builds a Service and starts its dispatcher pool. Callers must
+// eventually call Shutdown.
+func NewService(opts ServiceOptions) *Service {
+	store := run.NewStore()
+	disp := dispatch.New(store, dispatch.Options{
+		QueueDepth:        opts.QueueDepth,
+		Dispatchers:       opts.Dispatchers,
+		DefaultRunWorkers: opts.DefaultRunWorkers,
+		RetainRuns:        opts.RetainRuns,
+	})
+	return &Service{store: store, disp: disp}
+}
+
+// Submit validates and enqueues a run, returning its queued snapshot.
+func (s *Service) Submit(spec RunSpec) (RunInfo, error) { return s.disp.Submit(spec) }
+
+// Get returns a snapshot of one run.
+func (s *Service) Get(id string) (RunInfo, error) { return s.store.Get(id) }
+
+// List returns snapshots of all runs, oldest first.
+func (s *Service) List() []RunInfo { return s.store.List() }
+
+// Cancel requests cancellation of a queued or running run.
+func (s *Service) Cancel(id string) (RunInfo, error) { return s.disp.Cancel(id) }
+
+// Stats snapshots current service load.
+func (s *Service) Stats() ServiceStats {
+	byState := make(map[string]int)
+	total := 0
+	for state, n := range s.store.CountByState() {
+		byState[state.String()] = n
+		total += n
+	}
+	return ServiceStats{
+		Runs:        total,
+		ByState:     byState,
+		QueueLen:    s.disp.QueueLen(),
+		QueueDepth:  s.disp.QueueDepth(),
+		Dispatchers: s.disp.Dispatchers(),
+	}
+}
+
+// Shutdown stops accepting runs and drains the dispatcher pool; if ctx
+// expires first, in-flight runs are force-cancelled.
+func (s *Service) Shutdown(ctx context.Context) error { return s.disp.Shutdown(ctx) }

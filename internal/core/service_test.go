@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestServiceLifecycle drives the run service through the core facade:
+// submit → poll → result, cancel semantics, stats, shutdown.
+func TestServiceLifecycle(t *testing.T) {
+	svc := NewService(ServiceOptions{QueueDepth: 4, Dispatchers: 2})
+	r, err := svc.Submit(RunSpec{Config: GenConfig{Shape: PipelineShape, Stages: 30, Width: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	var got RunInfo
+	for {
+		got, err = svc.Get(r.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run stuck in state %s", got.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got.State != RunSucceeded || got.Result == nil || !got.Result.Match {
+		t.Fatalf("run = %+v, want succeeded with matching result", got)
+	}
+	if list := svc.List(); len(list) != 1 || list[0].ID != r.ID {
+		t.Fatalf("List = %+v, want the one run", list)
+	}
+	stats := svc.Stats()
+	if stats.Runs != 1 || stats.ByState[RunSucceeded.String()] != 1 {
+		t.Errorf("Stats = %+v, want 1 succeeded run", stats)
+	}
+	if _, err := svc.Cancel(r.ID); !errors.Is(err, ErrRunTerminal) {
+		t.Errorf("Cancel(terminal) = %v, want ErrRunTerminal", err)
+	}
+	if _, err := svc.Get("r000000-missing"); !errors.Is(err, ErrRunNotFound) {
+		t.Errorf("Get(missing) = %v, want ErrRunNotFound", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(RunSpec{Config: GenConfig{Shape: PipelineShape, Stages: 3, Width: 2}}); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("Submit after Shutdown = %v, want ErrShuttingDown", err)
+	}
+}

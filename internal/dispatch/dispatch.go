@@ -1,0 +1,226 @@
+// Package dispatch pulls queued runs off a bounded queue and executes them
+// on a pool of dispatcher goroutines, recording outcomes back into the run
+// store. It is the bridge between the dagd API surface (internal/server)
+// and the DAG engine (internal/gen + internal/sched).
+//
+// Each dispatcher executes one run at a time via run.Execute (the same
+// path the dagbench CLI uses): generate, serial reference, concurrent
+// scheduler, self-check. Every run gets its own cancellable context
+// registered in the store, so POST /v1/runs/{id}/cancel aborts the exact
+// run it names, and Shutdown can drain gracefully or force-cancel
+// everything in flight. Cancelling a run that is still queued removes it
+// from the queue immediately, freeing its slot for new submissions.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+)
+
+// Submission/shutdown errors.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity; the caller should surface backpressure (HTTP 429).
+	ErrQueueFull = errors.New("dispatch: queue full")
+	// ErrShuttingDown is returned by Submit after Shutdown has begun.
+	ErrShuttingDown = errors.New("dispatch: shutting down")
+)
+
+// Options configures a Dispatcher.
+type Options struct {
+	// QueueDepth bounds how many runs may wait in the queue. Zero or
+	// negative means 256.
+	QueueDepth int
+	// Dispatchers is the number of goroutines executing runs, i.e. how
+	// many runs proceed concurrently. Zero or negative means NumCPU.
+	Dispatchers int
+	// DefaultRunWorkers is the scheduler pool size for specs that leave
+	// Workers at 0. Zero or negative means NumCPU.
+	DefaultRunWorkers int
+	// RetainRuns bounds how many terminal runs the store keeps; the
+	// oldest-finished are evicted past it. Zero means 4096; negative
+	// means unlimited retention.
+	RetainRuns int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.Dispatchers <= 0 {
+		o.Dispatchers = runtime.NumCPU()
+	}
+	if o.DefaultRunWorkers <= 0 {
+		o.DefaultRunWorkers = runtime.NumCPU()
+	}
+	if o.RetainRuns == 0 {
+		o.RetainRuns = 4096
+	}
+	return o
+}
+
+// Dispatcher owns the bounded run queue and the goroutine pool draining it.
+type Dispatcher struct {
+	store *run.Store
+	opts  Options
+
+	// baseCtx parents every run's context; force-cancelling it aborts all
+	// in-flight runs during a hard shutdown.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []string // pending run IDs, FIFO; length is the live backlog
+	closed bool
+}
+
+// New creates a Dispatcher recording into store and starts its goroutine
+// pool. Callers must eventually call Shutdown.
+func New(store *run.Store, opts Options) *Dispatcher {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Dispatcher{
+		store:      store,
+		opts:       opts,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	d.cond = sync.NewCond(&d.mu)
+	for i := 0; i < opts.Dispatchers; i++ {
+		d.wg.Add(1)
+		go d.loop()
+	}
+	return d
+}
+
+// QueueDepth returns the queue capacity (for health reporting).
+func (d *Dispatcher) QueueDepth() int { return d.opts.QueueDepth }
+
+// QueueLen returns how many runs are currently waiting.
+func (d *Dispatcher) QueueLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.queue)
+}
+
+// Dispatchers returns the pool size.
+func (d *Dispatcher) Dispatchers() int { return d.opts.Dispatchers }
+
+// Submit validates spec, registers a queued run, and enqueues it. It never
+// blocks: a full queue fails fast with ErrQueueFull and no run is left
+// behind in the store.
+func (d *Dispatcher) Submit(spec run.Spec) (run.Run, error) {
+	if err := spec.Validate(); err != nil {
+		return run.Run{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return run.Run{}, ErrShuttingDown
+	}
+	if len(d.queue) >= d.opts.QueueDepth {
+		return run.Run{}, ErrQueueFull
+	}
+	r := d.store.Create(spec)
+	d.queue = append(d.queue, r.ID)
+	d.cond.Signal()
+	return r, nil
+}
+
+// Cancel requests cancellation of the identified run (see run.Store.Cancel
+// for the state semantics). A run cancelled while still queued is removed
+// from the queue immediately, so its slot is free for new submissions.
+func (d *Dispatcher) Cancel(id string) (run.Run, error) {
+	r, err := d.store.Cancel(id)
+	if err == nil && r.State == run.StateCancelled && r.StartedAt == nil {
+		// Cancelled straight out of the queue: drop the pending entry.
+		d.mu.Lock()
+		for i, qid := range d.queue {
+			if qid == id {
+				d.queue = append(d.queue[:i], d.queue[i+1:]...)
+				break
+			}
+		}
+		d.mu.Unlock()
+	}
+	return r, err
+}
+
+// Shutdown stops accepting new runs, lets queued and in-flight runs drain,
+// and waits for the pool to exit. If ctx expires first, every in-flight
+// run is force-cancelled (it will finish as cancelled) and Shutdown keeps
+// waiting for the pool, returning ctx's error. Shutdown is idempotent.
+func (d *Dispatcher) Shutdown(ctx context.Context) error {
+	d.mu.Lock()
+	if !d.closed {
+		d.closed = true
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		d.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// next blocks until a run ID is available or the queue is closed and
+// drained; ok is false only on the latter.
+func (d *Dispatcher) next() (id string, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.queue) == 0 && !d.closed {
+		d.cond.Wait()
+	}
+	if len(d.queue) == 0 {
+		return "", false
+	}
+	id = d.queue[0]
+	d.queue = d.queue[1:]
+	return id, true
+}
+
+// loop is one dispatcher goroutine: pop, execute, repeat until the queue
+// closes and drains.
+func (d *Dispatcher) loop() {
+	defer d.wg.Done()
+	for {
+		id, ok := d.next()
+		if !ok {
+			return
+		}
+		d.execute(id)
+	}
+}
+
+// execute runs one queued run end to end and records its outcome.
+func (d *Dispatcher) execute(id string) {
+	ctx, cancel := context.WithCancel(d.baseCtx)
+	defer cancel()
+
+	r, err := d.store.Begin(id, cancel)
+	if err != nil {
+		// Cancelled while queued and popped before Cancel could unlink it.
+		return
+	}
+
+	res, err := run.Execute(ctx, r.Spec, d.opts.DefaultRunWorkers)
+	d.store.Finish(id, res, err)
+	d.store.EvictTerminal(d.opts.RetainRuns)
+}

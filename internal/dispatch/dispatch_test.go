@@ -1,0 +1,269 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+)
+
+func newDispatcher(t *testing.T, opts Options) (*run.Store, *Dispatcher) {
+	t.Helper()
+	store := run.NewStore()
+	d := New(store, opts)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+	})
+	return store, d
+}
+
+// waitForState polls until the run reaches want or the deadline passes.
+func waitForState(t *testing.T, store *run.Store, id string, want run.State) run.Run {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		r, err := store.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.State == want {
+			return r
+		}
+		if r.State.Terminal() {
+			t.Fatalf("run %s reached terminal state %s (error %q), want %s", id, r.State, r.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("run %s never reached state %s", id, want)
+	return run.Run{}
+}
+
+func pipelineSpec(stages, width, work int) run.Spec {
+	return run.Spec{
+		Config: gen.Config{Shape: gen.Pipeline, Stages: stages, Width: width},
+		Work:   work,
+	}
+}
+
+func TestSubmitExecutesToSuccess(t *testing.T) {
+	store, d := newDispatcher(t, Options{QueueDepth: 8, Dispatchers: 2})
+	specs := []run.Spec{
+		pipelineSpec(50, 4, 0),
+		{Config: gen.Config{Shape: gen.Random, Nodes: 400, EdgeProb: 0.02, Seed: 3}, Workers: 4},
+	}
+	for _, spec := range specs {
+		r, err := d.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := waitForState(t, store, r.ID, run.StateSucceeded)
+		if got.Result == nil {
+			t.Fatalf("succeeded run %s has no result", r.ID)
+		}
+		if !got.Result.Match {
+			t.Errorf("run %s: parallel/serial mismatch", r.ID)
+		}
+		if got.Result.SinkPaths == 0 {
+			t.Errorf("run %s: zero sink paths", r.ID)
+		}
+		if got.StartedAt == nil || got.FinishedAt == nil {
+			t.Errorf("run %s missing timestamps: %+v", r.ID, got)
+		}
+	}
+}
+
+func TestSubmitInvalidSpec(t *testing.T) {
+	_, d := newDispatcher(t, Options{QueueDepth: 2, Dispatchers: 1})
+	if _, err := d.Submit(run.Spec{Config: gen.Config{Shape: gen.Random, Nodes: 1}}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	store, d := newDispatcher(t, Options{QueueDepth: 1, Dispatchers: 1})
+	// Saturate the single dispatcher with a slow run, then the depth-1 queue.
+	slow := pipelineSpec(500, 4, 50000)
+	first, err := d.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, store, first.ID, run.StateRunning)
+	if _, err := d.Submit(slow); err != nil {
+		t.Fatalf("queueing one run behind an in-flight one: %v", err)
+	}
+	// Queue now holds one entry; the next submit must fail fast.
+	overflow := 0
+	for i := 0; i < 20; i++ {
+		if _, err := d.Submit(pipelineSpec(5, 2, 0)); errors.Is(err, ErrQueueFull) {
+			overflow++
+		}
+	}
+	if overflow == 0 {
+		t.Fatal("no submission hit ErrQueueFull with a saturated depth-1 queue")
+	}
+	// Rejected submissions must not leak store entries: first + queued one
+	// plus any that got in after the dispatcher advanced.
+	if n := store.Len(); n > 3 {
+		t.Errorf("store holds %d runs after rejections, want <= 3", n)
+	}
+}
+
+func TestCancelInFlightRun(t *testing.T) {
+	store, d := newDispatcher(t, Options{QueueDepth: 4, Dispatchers: 1})
+	// Big enough that it cannot finish before we cancel: ~160k nodes with
+	// real per-node work.
+	r, err := d.Submit(pipelineSpec(40000, 4, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, store, r.ID, run.StateRunning)
+	if _, err := d.Cancel(r.ID); err != nil {
+		t.Fatal(err)
+	}
+	got := waitForState(t, store, r.ID, run.StateCancelled)
+	if got.FinishedAt == nil {
+		t.Error("cancelled run missing FinishedAt")
+	}
+}
+
+func TestCancelQueuedRunNeverExecutes(t *testing.T) {
+	store, d := newDispatcher(t, Options{QueueDepth: 4, Dispatchers: 1})
+	// Head run occupies the dispatcher; the second sits in the queue.
+	head, err := d.Submit(pipelineSpec(2000, 4, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, store, head.ID, run.StateRunning)
+	queued, err := d.Submit(pipelineSpec(5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, err := d.Cancel(queued.ID); err != nil || c.State != run.StateCancelled {
+		t.Fatalf("Cancel(queued) = %+v, %v", c, err)
+	}
+	if _, err := d.Cancel(head.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, store, head.ID, run.StateCancelled)
+	// The queued run must stay cancelled (dispatcher skipped it) and never
+	// gain a StartedAt.
+	got, err := store.Get(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != run.StateCancelled || got.StartedAt != nil {
+		t.Errorf("cancelled-in-queue run = %+v, want cancelled and never started", got)
+	}
+}
+
+func TestCancelQueuedFreesSlot(t *testing.T) {
+	store, d := newDispatcher(t, Options{QueueDepth: 1, Dispatchers: 1})
+	head, err := d.Submit(pipelineSpec(2000, 4, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, store, head.ID, run.StateRunning)
+	queued, err := d.Submit(pipelineSpec(5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(pipelineSpec(5, 2, 0)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit = %v, want ErrQueueFull", err)
+	}
+	if _, err := d.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if d.QueueLen() != 0 {
+		t.Fatalf("QueueLen after cancelling queued run = %d, want 0", d.QueueLen())
+	}
+	// The freed slot must accept a new submission immediately.
+	replacement, err := d.Submit(pipelineSpec(5, 2, 0))
+	if err != nil {
+		t.Fatalf("submit after cancel = %v, want slot freed", err)
+	}
+	if _, err := d.Cancel(head.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, store, replacement.ID, run.StateSucceeded)
+}
+
+func TestTerminalRunRetention(t *testing.T) {
+	store, d := newDispatcher(t, Options{QueueDepth: 16, Dispatchers: 2, RetainRuns: 3})
+	var ids []string
+	for i := 0; i < 8; i++ {
+		r, err := d.Submit(pipelineSpec(5, 2, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, r.ID)
+		waitForState(t, store, r.ID, run.StateSucceeded)
+	}
+	if n := store.Len(); n > 3 {
+		t.Errorf("store holds %d terminal runs with RetainRuns=3", n)
+	}
+	// The newest run always survives its own eviction pass.
+	if _, err := store.Get(ids[len(ids)-1]); err != nil {
+		t.Errorf("newest run evicted: %v", err)
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	store := run.NewStore()
+	d := New(store, Options{QueueDepth: 8, Dispatchers: 2})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		r, err := d.Submit(pipelineSpec(30, 3, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, r.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	for _, id := range ids {
+		r, err := store.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.State != run.StateSucceeded {
+			t.Errorf("run %s after drain = %s, want succeeded", id, r.State)
+		}
+	}
+	if _, err := d.Submit(pipelineSpec(5, 2, 0)); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("Submit after Shutdown = %v, want ErrShuttingDown", err)
+	}
+	// Idempotent.
+	if err := d.Shutdown(ctx); err != nil {
+		t.Errorf("second Shutdown = %v", err)
+	}
+}
+
+func TestShutdownForceCancelsOnDeadline(t *testing.T) {
+	store := run.NewStore()
+	d := New(store, Options{QueueDepth: 4, Dispatchers: 1})
+	r, err := d.Submit(pipelineSpec(40000, 4, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, store, r.ID, run.StateRunning)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := d.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+	got, err := store.Get(r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != run.StateCancelled {
+		t.Errorf("force-cancelled run state = %s, want cancelled", got.State)
+	}
+}

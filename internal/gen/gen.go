@@ -56,14 +56,37 @@ func ParseShape(s string) (Shape, error) {
 	}
 }
 
-// Config parameterizes a generator run.
+// MarshalText implements encoding.TextMarshaler, so a Shape serializes as
+// its name ("random", "pipeline") in JSON and other text encodings.
+func (s Shape) MarshalText() ([]byte, error) {
+	switch s {
+	case Random, Pipeline:
+		return []byte(s.String()), nil
+	default:
+		return nil, fmt.Errorf("gen: cannot marshal unknown dag shape %d", int(s))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *Shape) UnmarshalText(text []byte) error {
+	parsed, err := ParseShape(string(text))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
+// Config parameterizes a generator run. The JSON form is the wire format
+// used by the dagd run-submission API, so equal JSON documents always
+// describe equal DAGs.
 type Config struct {
-	Shape    Shape
-	Nodes    int     // total node count (Random); ignored by Pipeline
-	EdgeProb float64 // forward-edge probability p (Random only)
-	Stages   int     // pipeline depth (Pipeline only)
-	Width    int     // pipeline width (Pipeline only)
-	Seed     int64   // PRNG seed; equal seeds give equal DAGs
+	Shape    Shape   `json:"shape"`
+	Nodes    int     `json:"nodes,omitempty"`  // total node count (Random); ignored by Pipeline
+	EdgeProb float64 `json:"p,omitempty"`      // forward-edge probability p (Random only)
+	Stages   int     `json:"stages,omitempty"` // pipeline depth (Pipeline only)
+	Width    int     `json:"width,omitempty"`  // pipeline width (Pipeline only)
+	Seed     int64   `json:"seed,omitempty"`   // PRNG seed; equal seeds give equal DAGs
 }
 
 // Generate builds the DAG described by cfg.

@@ -1,10 +1,41 @@
 package gen
 
 import (
+	"encoding/json"
 	"testing"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
 )
+
+// TestConfigJSONRoundTrip pins the serializable spec form used on the dagd
+// wire: shapes marshal by name and equal JSON always means equal DAGs.
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := Config{Shape: Pipeline, Stages: 12, Width: 3, Seed: 5}
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Config
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded != cfg {
+		t.Fatalf("round trip %+v, want %+v", decoded, cfg)
+	}
+	var fromWire Config
+	if err := json.Unmarshal([]byte(`{"shape":"random","nodes":64,"p":0.1,"seed":9}`), &fromWire); err != nil {
+		t.Fatal(err)
+	}
+	if want := (Config{Shape: Random, Nodes: 64, EdgeProb: 0.1, Seed: 9}); fromWire != want {
+		t.Fatalf("wire decode %+v, want %+v", fromWire, want)
+	}
+	if err := json.Unmarshal([]byte(`{"shape":"hexagon"}`), &fromWire); err == nil {
+		t.Fatal("unknown shape decoded without error")
+	}
+	if _, err := json.Marshal(Config{Shape: Shape(9)}); err == nil {
+		t.Fatal("unknown shape marshalled without error")
+	}
+}
 
 func TestRandomDAGDeterministic(t *testing.T) {
 	a, err := RandomDAG(200, 0.05, 42)

@@ -1,0 +1,84 @@
+package run
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/sched"
+)
+
+// ErrMismatch is returned (wrapped) by Execute when the parallel path
+// counts diverge from the serial reference.
+var ErrMismatch = errors.New("run: parallel path counts diverge from serial reference")
+
+// Execute performs one run end to end: generate the DAG from spec, sweep
+// the serial path-count reference, run the concurrent scheduler, and
+// compare the two. It is the single execution path shared by the dagbench
+// CLI and the dagd dispatcher, so the two surfaces can never drift.
+//
+// defaultWorkers is used when spec.Workers is 0 (<= 0 falls back to
+// NumCPU). On a mismatch the measured Result (with Match false) is
+// returned alongside an error wrapping ErrMismatch; on generation or
+// cancellation errors the Result is nil. Execute does not call
+// spec.Validate — admission policy belongs to the caller.
+func Execute(ctx context.Context, spec Spec, defaultWorkers int) (*Result, error) {
+	d, err := gen.Generate(spec.Config)
+	if err != nil {
+		return nil, err
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = defaultWorkers
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	t0 := time.Now()
+	serial, err := sched.CountPathsSerialCtx(ctx, d, spec.Work)
+	if err != nil {
+		return nil, err
+	}
+	serialDur := time.Since(t0)
+
+	t1 := time.Now()
+	parallel, err := sched.CountPathsParallel(ctx, d, workers, spec.Work)
+	if err != nil {
+		return nil, err
+	}
+	parallelDur := time.Since(t1)
+
+	match := len(serial) == len(parallel)
+	if match {
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				match = false
+				break
+			}
+		}
+	}
+	res := &Result{
+		Nodes:          d.NumNodes(),
+		Edges:          d.NumEdges(),
+		Depth:          d.Depth(),
+		Workers:        workers,
+		SinkPaths:      sched.TotalSinkPaths(d, serial),
+		Match:          match,
+		SerialMillis:   float64(serialDur.Microseconds()) / 1000,
+		ParallelMillis: float64(parallelDur.Microseconds()) / 1000,
+	}
+	// A zero/near-zero duration (trivial DAG, coarse clock) would make the
+	// ratio 0/0 or +Inf; leave Speedup 0 there — Match is the correctness
+	// signal, not Speedup.
+	if serialDur > 0 && parallelDur > 0 {
+		res.Speedup = float64(serialDur) / float64(parallelDur)
+	}
+	if !match {
+		return res, fmt.Errorf("%w on %d-node %s dag (seed %d)", ErrMismatch, d.NumNodes(), spec.Shape, spec.Seed)
+	}
+	return res, nil
+}

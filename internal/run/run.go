@@ -1,0 +1,175 @@
+// Package run models the lifecycle of one DAG execution request inside the
+// dagd service and provides an in-memory, mutex-sharded store for tracking
+// many of them concurrently.
+//
+// A run moves through the states
+//
+//	queued → running → succeeded | failed | cancelled
+//
+// where the three right-hand states are terminal. A queued run can also jump
+// straight to cancelled if the caller cancels it before a dispatcher picks
+// it up. All transitions are serialized per run by the store, so callers
+// never observe a half-applied transition.
+package run
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
+)
+
+// State is a run's lifecycle state.
+type State int32
+
+const (
+	// StateQueued means the run is waiting in the dispatch queue.
+	StateQueued State = iota
+	// StateRunning means a dispatcher is executing the run.
+	StateRunning
+	// StateSucceeded means the run finished and its self-check matched.
+	StateSucceeded
+	// StateFailed means generation or execution returned an error.
+	StateFailed
+	// StateCancelled means the run was cancelled before or during execution.
+	StateCancelled
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateSucceeded:
+		return "succeeded"
+	case StateFailed:
+		return "failed"
+	case StateCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler so states serialize as
+// their lowercase names in JSON.
+func (s State) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *State) UnmarshalText(text []byte) error {
+	parsed, err := ParseState(string(text))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
+// ParseState converts a state name back to a State.
+func ParseState(name string) (State, error) {
+	for _, s := range []State{StateQueued, StateRunning, StateSucceeded, StateFailed, StateCancelled} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("run: unknown state %q", name)
+}
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCancelled
+}
+
+// Spec is the serializable description of one run request: the generator
+// config plus the execution knobs. Its JSON form is the POST /v1/runs body.
+type Spec struct {
+	gen.Config
+	Work    int `json:"work,omitempty"`    // busy-work iterations per node (Nabbit W)
+	Workers int `json:"workers,omitempty"` // per-run worker pool size; 0 = service default
+}
+
+// Spec validation bounds. The service executes untrusted specs, so sizes
+// are capped to keep a single request from exhausting memory.
+const (
+	MaxNodes   = 1 << 20 // total node cap for either shape
+	MaxEdges   = 1 << 22 // expected-edge cap; adjacency is stored both ways
+	MaxWork    = 1 << 26 // per-node busy-work cap
+	MaxWorkers = 1024
+)
+
+// Validate checks spec against shape-specific and service-wide bounds.
+func (s Spec) Validate() error {
+	switch s.Shape {
+	case gen.Random:
+		if s.Nodes < 2 || s.Nodes > MaxNodes {
+			return fmt.Errorf("run: random spec needs 2 <= nodes <= %d, got %d", MaxNodes, s.Nodes)
+		}
+		if s.EdgeProb < 0 || s.EdgeProb > 1 {
+			return fmt.Errorf("run: edge probability %v outside [0,1]", s.EdgeProb)
+		}
+		// The node cap alone doesn't bound memory: a dense random graph
+		// has ~p·n(n-1)/2 edges, quadratic in n.
+		if expected := s.EdgeProb * float64(s.Nodes) * float64(s.Nodes-1) / 2; expected > MaxEdges {
+			return fmt.Errorf("run: random spec expects ~%.0f edges (p·n(n-1)/2), cap is %d — lower nodes or p", expected, MaxEdges)
+		}
+	case gen.Pipeline:
+		if s.Stages < 1 || s.Width < 1 {
+			return fmt.Errorf("run: pipeline spec needs stages >= 1 and width >= 1, got %dx%d", s.Stages, s.Width)
+		}
+		if n := s.Stages*s.Width + 2; n > MaxNodes {
+			return fmt.Errorf("run: pipeline %dx%d has %d nodes, cap is %d", s.Stages, s.Width, n, MaxNodes)
+		}
+	default:
+		return fmt.Errorf("run: unknown dag shape %v", s.Shape)
+	}
+	if s.Work < 0 || s.Work > MaxWork {
+		return fmt.Errorf("run: work %d outside [0,%d]", s.Work, MaxWork)
+	}
+	if s.Workers < 0 || s.Workers > MaxWorkers {
+		return fmt.Errorf("run: workers %d outside [0,%d]", s.Workers, MaxWorkers)
+	}
+	return nil
+}
+
+// Result holds the measured outcome of a finished run. It is written once
+// by the dispatcher and never mutated afterwards, so snapshots may share it.
+type Result struct {
+	Nodes          int     `json:"nodes"`
+	Edges          int     `json:"edges"`
+	Depth          int     `json:"depth"`
+	Workers        int     `json:"workers"`
+	SinkPaths      uint64  `json:"sink_paths_mod64"`
+	Match          bool    `json:"match"`
+	SerialMillis   float64 `json:"serial_ms"`
+	ParallelMillis float64 `json:"parallel_ms"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// Run is a snapshot of one run's state. Store methods return copies, so a
+// Run a caller holds never changes underneath it.
+type Run struct {
+	ID         string     `json:"id"`
+	Spec       Spec       `json:"spec"`
+	State      State      `json:"state"`
+	Error      string     `json:"error,omitempty"`
+	Result     *Result    `json:"result,omitempty"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// Store errors.
+var (
+	// ErrNotFound is returned when no run has the requested ID.
+	ErrNotFound = errors.New("run: not found")
+	// ErrNotQueued is returned by Begin when the run left the queued state
+	// (e.g. it was cancelled while waiting).
+	ErrNotQueued = errors.New("run: not queued")
+	// ErrNotRunning is returned by Finish when the run is not running.
+	ErrNotRunning = errors.New("run: not running")
+	// ErrTerminal is returned by Cancel when the run already finished.
+	ErrTerminal = errors.New("run: already in a terminal state")
+)

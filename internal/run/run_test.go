@@ -1,0 +1,379 @@
+package run
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
+)
+
+func pipelineSpec() Spec {
+	return Spec{Config: gen.Config{Shape: gen.Pipeline, Stages: 10, Width: 2}}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"random ok", Spec{Config: gen.Config{Shape: gen.Random, Nodes: 100, EdgeProb: 0.1}}, true},
+		{"pipeline ok", pipelineSpec(), true},
+		{"random too small", Spec{Config: gen.Config{Shape: gen.Random, Nodes: 1}}, false},
+		{"random too big", Spec{Config: gen.Config{Shape: gen.Random, Nodes: MaxNodes + 1}}, false},
+		{"random too dense", Spec{Config: gen.Config{Shape: gen.Random, Nodes: MaxNodes, EdgeProb: 1}}, false},
+		{"random big but sparse", Spec{Config: gen.Config{Shape: gen.Random, Nodes: 100000, EdgeProb: 0.0001}}, true},
+		{"bad prob", Spec{Config: gen.Config{Shape: gen.Random, Nodes: 10, EdgeProb: 1.5}}, false},
+		{"pipeline zero width", Spec{Config: gen.Config{Shape: gen.Pipeline, Stages: 5, Width: 0}}, false},
+		{"pipeline node cap", Spec{Config: gen.Config{Shape: gen.Pipeline, Stages: MaxNodes, Width: 2}}, false},
+		{"bad shape", Spec{Config: gen.Config{Shape: gen.Shape(42), Nodes: 10}}, false},
+		{"negative work", func() Spec { s := pipelineSpec(); s.Work = -1; return s }(), false},
+		{"too many workers", func() Spec { s := pipelineSpec(); s.Workers = MaxWorkers + 1; return s }(), false},
+	}
+	for _, tc := range cases {
+		if err := tc.spec.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := Spec{
+		Config: gen.Config{Shape: gen.Random, Nodes: 500, EdgeProb: 0.02, Seed: 7},
+		Work:   100,
+	}
+	// The wire format flattens generator and execution knobs into one object
+	// with the shape serialized by name.
+	blob := `{"shape":"random","nodes":500,"p":0.02,"seed":7,"work":100}`
+	var decoded Spec
+	if err := json.Unmarshal([]byte(blob), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded != spec {
+		t.Errorf("decoded %+v, want %+v", decoded, spec)
+	}
+	out, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var roundTripped Spec
+	if err := json.Unmarshal(out, &roundTripped); err != nil {
+		t.Fatal(err)
+	}
+	if roundTripped != spec {
+		t.Errorf("round trip %+v, want %+v", roundTripped, spec)
+	}
+}
+
+func TestLifecycleHappyPath(t *testing.T) {
+	s := NewStore()
+	r := s.Create(pipelineSpec())
+	if r.State != StateQueued || r.ID == "" || r.CreatedAt.IsZero() {
+		t.Fatalf("Create = %+v, want queued with ID and CreatedAt", r)
+	}
+
+	began, err := s.Begin(r.ID, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if began.State != StateRunning || began.StartedAt == nil {
+		t.Fatalf("Begin = %+v, want running with StartedAt", began)
+	}
+
+	res := &Result{Nodes: 22, Match: true}
+	fin, err := s.Finish(r.ID, res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateSucceeded || fin.FinishedAt == nil || fin.Result != res {
+		t.Fatalf("Finish = %+v, want succeeded with result", fin)
+	}
+	if !fin.State.Terminal() {
+		t.Error("succeeded not terminal")
+	}
+}
+
+func TestFinishError(t *testing.T) {
+	s := NewStore()
+	r := s.Create(pipelineSpec())
+	if _, err := s.Begin(r.ID, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := s.Finish(r.ID, nil, errors.New("boom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateFailed || fin.Error != "boom" {
+		t.Fatalf("Finish(err) = %+v, want failed/boom", fin)
+	}
+}
+
+func TestFinishCancelled(t *testing.T) {
+	s := NewStore()
+	r := s.Create(pipelineSpec())
+	if _, err := s.Begin(r.ID, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := s.Finish(r.ID, nil, fmt.Errorf("run aborted: %w", context.Canceled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateCancelled {
+		t.Fatalf("Finish(ctx cancelled) state = %s, want cancelled", fin.State)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	s := NewStore()
+	r := s.Create(pipelineSpec())
+	c, err := s.Cancel(r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State != StateCancelled || c.FinishedAt == nil {
+		t.Fatalf("Cancel(queued) = %+v, want cancelled", c)
+	}
+	// A dispatcher popping this ID later must be refused.
+	if _, err := s.Begin(r.ID, func() {}); !errors.Is(err, ErrNotQueued) {
+		t.Errorf("Begin after cancel = %v, want ErrNotQueued", err)
+	}
+	// Cancelling again is a terminal-state error.
+	if _, err := s.Cancel(r.ID); !errors.Is(err, ErrTerminal) {
+		t.Errorf("second Cancel = %v, want ErrTerminal", err)
+	}
+}
+
+func TestCancelRunningInvokesHook(t *testing.T) {
+	s := NewStore()
+	r := s.Create(pipelineSpec())
+	fired := false
+	if _, err := s.Begin(r.ID, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Cancel(r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("cancel hook not invoked")
+	}
+	// State stays running until the dispatcher observes the cancellation.
+	if c.State != StateRunning {
+		t.Errorf("Cancel(running) state = %s, want running", c.State)
+	}
+	fin, err := s.Finish(r.ID, nil, context.Canceled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateCancelled {
+		t.Errorf("state after Finish = %s, want cancelled", fin.State)
+	}
+}
+
+func TestGetAndListAndDelete(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	var ids []string
+	for i := 0; i < 10; i++ {
+		ids = append(ids, s.Create(pipelineSpec()).ID)
+	}
+	if got := s.Len(); got != 10 {
+		t.Fatalf("Len = %d, want 10", got)
+	}
+	list := s.List()
+	if len(list) != 10 {
+		t.Fatalf("List len = %d, want 10", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		prev, cur := list[i-1], list[i]
+		if cur.CreatedAt.Before(prev.CreatedAt) {
+			t.Fatal("List not ordered oldest-first")
+		}
+	}
+	seen := make(map[string]bool)
+	for _, r := range list {
+		seen[r.ID] = true
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Fatalf("List missing run %s", id)
+		}
+	}
+	s.Delete(ids[0])
+	if _, err := s.Get(ids[0]); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after Delete = %v, want ErrNotFound", err)
+	}
+	counts := s.CountByState()
+	if counts[StateQueued] != 9 {
+		t.Errorf("CountByState[queued] = %d, want 9", counts[StateQueued])
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := NewStore()
+	r := s.Create(pipelineSpec())
+	before, _ := s.Get(r.ID)
+	if _, err := s.Begin(r.ID, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if before.State != StateQueued {
+		t.Error("earlier snapshot mutated by later transition")
+	}
+}
+
+// TestConcurrentLifecycles hammers the store from many goroutines; run
+// with -race this validates the sharded locking.
+func TestConcurrentLifecycles(t *testing.T) {
+	s := NewStore()
+	const n = 200
+	var wg sync.WaitGroup
+	ids := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := s.Create(pipelineSpec())
+			ids <- r.ID
+			if _, err := s.Begin(r.ID, func() {}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := s.Finish(r.ID, &Result{Match: true}, nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Concurrent readers.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.List()
+				s.CountByState()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	unique := make(map[string]bool)
+	for id := range ids {
+		if unique[id] {
+			t.Fatalf("duplicate run ID %s", id)
+		}
+		unique[id] = true
+	}
+	if got := s.CountByState()[StateSucceeded]; got != n {
+		t.Errorf("succeeded = %d, want %d", got, n)
+	}
+}
+
+func TestEvictTerminal(t *testing.T) {
+	s := NewStore()
+	finish := func(id string) {
+		if _, err := s.Begin(id, func() {}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Finish(id, &Result{Match: true}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ids []string
+	for i := 0; i < 10; i++ {
+		id := s.Create(pipelineSpec()).ID
+		ids = append(ids, id)
+		finish(id)
+	}
+	queued := s.Create(pipelineSpec()).ID
+	running := s.Create(pipelineSpec()).ID
+	if _, err := s.Begin(running, func() {}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := s.EvictTerminal(0); got != 0 {
+		t.Errorf("EvictTerminal(0) = %d, want 0 (unlimited)", got)
+	}
+	if got := s.EvictTerminal(3); got != 7 {
+		t.Fatalf("EvictTerminal(3) = %d, want 7", got)
+	}
+	// The oldest-finished terminal runs are gone, newest three remain.
+	for _, id := range ids[:7] {
+		if _, err := s.Get(id); !errors.Is(err, ErrNotFound) {
+			t.Errorf("evicted run %s still present", id)
+		}
+	}
+	for _, id := range ids[7:] {
+		if _, err := s.Get(id); err != nil {
+			t.Errorf("retained run %s: %v", id, err)
+		}
+	}
+	// Non-terminal runs are never touched.
+	for _, id := range []string{queued, running} {
+		if _, err := s.Get(id); err != nil {
+			t.Errorf("non-terminal run %s evicted: %v", id, err)
+		}
+	}
+	if got := s.EvictTerminal(3); got != 0 {
+		t.Errorf("second EvictTerminal(3) = %d, want 0", got)
+	}
+}
+
+func TestExecuteBothShapes(t *testing.T) {
+	specs := []Spec{
+		{Config: gen.Config{Shape: gen.Pipeline, Stages: 40, Width: 3}, Work: 5},
+		{Config: gen.Config{Shape: gen.Random, Nodes: 300, EdgeProb: 0.02, Seed: 4}, Workers: 4},
+	}
+	for _, spec := range specs {
+		res, err := Execute(context.Background(), spec, 2)
+		if err != nil {
+			t.Fatalf("Execute(%+v): %v", spec, err)
+		}
+		if !res.Match || res.SinkPaths == 0 || res.Nodes == 0 {
+			t.Errorf("Execute(%+v) = %+v, want matching nonzero result", spec, res)
+		}
+	}
+}
+
+func TestExecuteDeterministicAcrossCalls(t *testing.T) {
+	spec := Spec{Config: gen.Config{Shape: gen.Random, Nodes: 200, EdgeProb: 0.05, Seed: 9}}
+	a, err := Execute(context.Background(), spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(context.Background(), spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SinkPaths != b.SinkPaths {
+		t.Errorf("same spec, different sink paths: %d vs %d", a.SinkPaths, b.SinkPaths)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	if _, err := Execute(context.Background(), Spec{Config: gen.Config{Shape: gen.Random, Nodes: 1}}, 2); err == nil {
+		t.Error("Execute with ungeneratable spec succeeded")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Execute(ctx, pipelineSpec(), 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("Execute(cancelled ctx) = %v, want context.Canceled", err)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for _, s := range []State{StateQueued, StateRunning, StateSucceeded, StateFailed, StateCancelled} {
+		parsed, err := ParseState(s.String())
+		if err != nil || parsed != s {
+			t.Errorf("ParseState(%q) = %v, %v", s.String(), parsed, err)
+		}
+	}
+	if _, err := ParseState("bogus"); err == nil {
+		t.Error("ParseState(bogus) succeeded")
+	}
+}

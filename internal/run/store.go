@@ -1,0 +1,276 @@
+package run
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// numShards is the number of independent mutex-guarded maps the store
+// spreads runs across. IDs hash uniformly, so contention on any one shard
+// is ~1/numShards of a single-lock design under concurrent API traffic.
+const numShards = 16
+
+// Store is an in-memory, mutex-sharded run store. All methods are safe for
+// concurrent use and return snapshot copies, never live internal state.
+type Store struct {
+	shards [numShards]shard
+	seq    atomic.Uint64
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	runs map[string]*tracked
+}
+
+// tracked is the store's live record for one run: the run itself plus the
+// dispatcher's cancel hook while the run is in flight.
+type tracked struct {
+	run    Run
+	cancel context.CancelFunc
+}
+
+// NewStore returns an empty Store.
+func NewStore() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].runs = make(map[string]*tracked)
+	}
+	return s
+}
+
+func (s *Store) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &s.shards[h.Sum32()%numShards]
+}
+
+// newID returns a unique run ID: a monotonic sequence number (uniqueness)
+// plus random bytes (avoids accidental collisions across restarts of a
+// future persistent store).
+func (s *Store) newID() string {
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; the sequence
+		// number alone still guarantees in-process uniqueness.
+		copy(b[:], "0000")
+	}
+	return fmt.Sprintf("r%06d-%s", s.seq.Add(1), hex.EncodeToString(b[:]))
+}
+
+// Create registers a new queued run for spec and returns its snapshot.
+func (s *Store) Create(spec Spec) Run {
+	r := Run{
+		ID:        s.newID(),
+		Spec:      spec,
+		State:     StateQueued,
+		CreatedAt: time.Now(),
+	}
+	sh := s.shardFor(r.ID)
+	sh.mu.Lock()
+	sh.runs[r.ID] = &tracked{run: r}
+	sh.mu.Unlock()
+	return r
+}
+
+// Delete removes a run entirely. It exists so a submitter can roll back a
+// Create whose queue hand-off failed; it succeeds regardless of state.
+func (s *Store) Delete(id string) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	delete(sh.runs, id)
+	sh.mu.Unlock()
+}
+
+// Get returns a snapshot of the run with the given ID.
+func (s *Store) Get(id string) (Run, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	t, ok := sh.runs[id]
+	if !ok {
+		return Run{}, ErrNotFound
+	}
+	return t.run, nil
+}
+
+// List returns snapshots of every run, oldest first (ties broken by ID so
+// the order is stable).
+func (s *Store) List() []Run {
+	var out []Run
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, t := range sh.runs {
+			out = append(out, t.run)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.Before(out[j].CreatedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the total number of tracked runs.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.runs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// EvictTerminal deletes the oldest-finished terminal runs so that at most
+// keep remain, and returns how many were evicted. Queued and running runs
+// are never touched. keep <= 0 is a no-op (unlimited retention). The
+// dispatcher calls this after each finish so a long-running dagd holds a
+// bounded history instead of growing without bound.
+func (s *Store) EvictTerminal(keep int) int {
+	if keep <= 0 {
+		return 0
+	}
+	type finished struct {
+		id string
+		at time.Time
+	}
+	var terminal []finished
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, t := range sh.runs {
+			if t.run.State.Terminal() && t.run.FinishedAt != nil {
+				terminal = append(terminal, finished{id, *t.run.FinishedAt})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	excess := len(terminal) - keep
+	if excess <= 0 {
+		return 0
+	}
+	sort.Slice(terminal, func(i, j int) bool { return terminal[i].at.Before(terminal[j].at) })
+	evicted := 0
+	for _, f := range terminal[:excess] {
+		sh := s.shardFor(f.id)
+		sh.mu.Lock()
+		// Re-check under the write lock: a concurrent evictor may have
+		// removed it already.
+		if t, ok := sh.runs[f.id]; ok && t.run.State.Terminal() {
+			delete(sh.runs, f.id)
+			evicted++
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
+}
+
+// CountByState returns how many runs are in each state.
+func (s *Store) CountByState() map[State]int {
+	counts := make(map[State]int)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, t := range sh.runs {
+			counts[t.run.State]++
+		}
+		sh.mu.RUnlock()
+	}
+	return counts
+}
+
+// Begin transitions a queued run to running, records the dispatcher's
+// cancel hook, and stamps StartedAt. It returns ErrNotQueued (without
+// touching the run) if the run is in any other state — in particular if it
+// was cancelled while still in the queue.
+func (s *Store) Begin(id string, cancel context.CancelFunc) (Run, error) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t, ok := sh.runs[id]
+	if !ok {
+		return Run{}, ErrNotFound
+	}
+	if t.run.State != StateQueued {
+		return t.run, fmt.Errorf("%w (state %s)", ErrNotQueued, t.run.State)
+	}
+	now := time.Now()
+	t.run.State = StateRunning
+	t.run.StartedAt = &now
+	t.cancel = cancel
+	return t.run, nil
+}
+
+// Finish transitions a running run to its terminal state: cancelled if err
+// is a context cancellation, failed for any other error, succeeded
+// otherwise. The result (may be nil on error) and FinishedAt are recorded.
+func (s *Store) Finish(id string, result *Result, err error) (Run, error) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t, ok := sh.runs[id]
+	if !ok {
+		return Run{}, ErrNotFound
+	}
+	if t.run.State != StateRunning {
+		return t.run, fmt.Errorf("%w (state %s)", ErrNotRunning, t.run.State)
+	}
+	now := time.Now()
+	t.run.FinishedAt = &now
+	t.run.Result = result
+	t.cancel = nil
+	switch {
+	case err == nil:
+		t.run.State = StateSucceeded
+	case errors.Is(err, context.Canceled):
+		t.run.State = StateCancelled
+		t.run.Error = err.Error()
+	default:
+		t.run.State = StateFailed
+		t.run.Error = err.Error()
+	}
+	return t.run, nil
+}
+
+// Cancel requests cancellation of a run. A queued run moves directly to
+// cancelled (a dispatcher that later pops it will find Begin refusing). A
+// running run has its cancel hook invoked; it stays running until the
+// dispatcher observes the cancellation and calls Finish, at which point it
+// lands in cancelled. Cancelling a terminal run returns ErrTerminal.
+func (s *Store) Cancel(id string) (Run, error) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t, ok := sh.runs[id]
+	if !ok {
+		return Run{}, ErrNotFound
+	}
+	switch t.run.State {
+	case StateQueued:
+		now := time.Now()
+		t.run.State = StateCancelled
+		t.run.Error = "cancelled while queued"
+		t.run.FinishedAt = &now
+		return t.run, nil
+	case StateRunning:
+		if t.cancel != nil {
+			t.cancel()
+		}
+		return t.run, nil
+	default:
+		return t.run, fmt.Errorf("%w (state %s)", ErrTerminal, t.run.State)
+	}
+}

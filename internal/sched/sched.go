@@ -149,8 +149,34 @@ func CountPathsParallel(ctx context.Context, d *dag.DAG, workers, work int) ([]u
 // CountPathsParallel with a single-threaded sweep in topological order.
 // It is the correctness reference for the scheduler.
 func CountPathsSerial(d *dag.DAG, work int) []uint64 {
+	values, _ := CountPathsSerialCtx(context.Background(), d, work)
+	return values
+}
+
+// CountPathsSerialCtx is CountPathsSerial with cooperative cancellation:
+// the sweep polls ctx every few nodes and returns ctx.Err() if it fires.
+// Long-running services (dagd) use this so that cancelling a run aborts
+// the serial reference pass too, not just the parallel one.
+func CountPathsSerialCtx(ctx context.Context, d *dag.DAG, work int) ([]uint64, error) {
+	// Poll on a spin-iteration budget, not a fixed node stride: with heavy
+	// per-node work a 64-node stride would mean seconds between checks,
+	// defeating prompt cancellation and shutdown force-cancel.
+	const pollBudget = 1 << 20
+	pollEvery := 64
+	if work > 0 {
+		if pollEvery = pollBudget / work; pollEvery < 1 {
+			pollEvery = 1
+		} else if pollEvery > 64 {
+			pollEvery = 64
+		}
+	}
 	values := make([]uint64, d.NumNodes())
-	for _, u := range d.TopoOrder() {
+	for i, u := range d.TopoOrder() {
+		if i%pollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		spin(work)
 		parents := d.Parents(u)
 		if len(parents) == 0 {
@@ -163,7 +189,7 @@ func CountPathsSerial(d *dag.DAG, work int) []uint64 {
 		}
 		values[u] = sum
 	}
-	return values
+	return values, nil
 }
 
 // TotalSinkPaths sums the path counts of all sink nodes — the number of

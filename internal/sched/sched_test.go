@@ -2,7 +2,10 @@ package sched
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
@@ -146,6 +149,70 @@ func TestCustomComputeHook(t *testing.T) {
 	if got, want := vals[sink], uint64(d.Depth()+1); got != want {
 		t.Errorf("sink depth value = %d, want %d", got, want)
 	}
+}
+
+// TestMidRunCancellation cancels while nodes are actively in flight and
+// asserts the run returns promptly with ctx.Err() rather than finishing
+// the whole graph.
+func TestMidRunCancellation(t *testing.T) {
+	// Deep pipeline: 40002 nodes, so the run is nowhere near done when the
+	// first node signals.
+	d, err := gen.PipelineDAG(10000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.NumNodes()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	started := make(chan struct{})
+	var once sync.Once
+	var computed atomic.Int64
+	hook := func(id dag.NodeID, parents []uint64) uint64 {
+		once.Do(func() { close(started) })
+		computed.Add(1)
+		time.Sleep(50 * time.Microsecond) // keep nodes in flight long enough to observe
+		return 1
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := New(d, Options{Workers: 4}).Run(ctx, hook)
+		done <- err
+	}()
+
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Run = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return promptly after mid-run cancel")
+	}
+	if got := computed.Load(); got == 0 || got >= int64(n) {
+		t.Fatalf("computed %d of %d nodes, want mid-run cancellation (0 < computed < n)", got, n)
+	}
+}
+
+// TestSerialCtxCancellation covers the cancellation-aware serial sweep used
+// by the dagd dispatcher.
+func TestSerialCtxCancellation(t *testing.T) {
+	d, err := gen.PipelineDAG(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CountPathsSerialCtx(ctx, d, 0); err != context.Canceled {
+		t.Fatalf("CountPathsSerialCtx = %v, want context.Canceled", err)
+	}
+	vals, err := CountPathsSerialCtx(context.Background(), d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualCounts(t, CountPathsSerial(d, 0), vals)
 }
 
 func TestContextCancellation(t *testing.T) {

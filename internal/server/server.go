@@ -1,0 +1,177 @@
+// Package server exposes the dagd run service over a JSON HTTP API:
+//
+//	POST /v1/runs             submit a run spec, returns 202 + the queued run
+//	GET  /v1/runs             list runs (optional ?state= filter)
+//	GET  /v1/runs/{id}        poll one run's status/result
+//	POST /v1/runs/{id}/cancel request cancellation
+//	GET  /healthz             liveness + queue stats
+//
+// Errors are JSON objects {"error": "..."} with conventional status codes:
+// 400 for bad specs, 404 for unknown runs, 409 for cancelling a finished
+// run, 429 when the dispatch queue is full, 503 while shutting down.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/core"
+)
+
+// maxSpecBytes bounds the POST /v1/runs body; specs are tiny.
+const maxSpecBytes = 1 << 16
+
+// Server is the HTTP front end for a core.Service.
+type Server struct {
+	svc *core.Service
+	mux *http.ServeMux
+}
+
+// New returns a Server routing to svc.
+func New(svc *core.Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the routing handler (useful for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until ctx is cancelled, then shuts down
+// gracefully: stop accepting connections, then drain the run service so
+// in-flight runs finish (or are force-cancelled once drainTimeout expires)
+// before the process exits.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("dagd: listening on %s", ln.Addr())
+	return s.serve(ctx, ln, drainTimeout)
+}
+
+func (s *Server) serve(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
+	httpSrv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Listener failed outright; nothing to drain.
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("dagd: shutting down, draining for up to %v", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	if err := s.svc.Shutdown(drainCtx); err != nil && shutdownErr == nil {
+		shutdownErr = err
+	}
+	<-errc // Serve has returned http.ErrServerClosed by now
+	return shutdownErr
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec core.RunSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	rr, err := s.svc.Submit(spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, core.ErrShuttingDown):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rr)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	runs := s.svc.List()
+	if want := r.URL.Query().Get("state"); want != "" {
+		state, err := core.ParseRunState(want)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		filtered := runs[:0]
+		for _, rr := range runs {
+			if rr.State == state {
+				filtered = append(filtered, rr)
+			}
+		}
+		runs = filtered
+	}
+	if runs == nil {
+		runs = []core.RunInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": runs, "count": len(runs)})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	rr, err := s.svc.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rr)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rr, err := s.svc.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, rr)
+	case errors.Is(err, core.ErrRunNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, core.ErrRunTerminal):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"stats":  s.svc.Stats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; all we can do is log.
+		log.Printf("dagd: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/core"
+)
+
+// newTestServer stands up a real Service behind an httptest server.
+func newTestServer(t *testing.T, opts core.ServiceOptions) *httptest.Server {
+	t.Helper()
+	svc := core.NewService(opts)
+	ts := httptest.NewServer(New(svc).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+	})
+	return ts
+}
+
+func doJSON(t *testing.T, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if len(raw) > 0 && strings.Contains(resp.Header.Get("Content-Type"), "json") {
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode, decoded
+}
+
+// pollUntil polls GET /v1/runs/{id} until the run state matches want.
+func pollUntil(t *testing.T, base, id, want string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		code, body := doJSON(t, http.MethodGet, base+"/v1/runs/"+id, "")
+		if code != http.StatusOK {
+			t.Fatalf("GET run %s: status %d", id, code)
+		}
+		state, _ := body["state"].(string)
+		if state == want {
+			return body
+		}
+		switch state {
+		case "succeeded", "failed", "cancelled":
+			t.Fatalf("run %s reached %s (error %v), want %s", id, state, body["error"], want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("run %s never reached %s", id, want)
+	return nil
+}
+
+func submit(t *testing.T, base, spec string) string {
+	t.Helper()
+	code, body := doJSON(t, http.MethodPost, base+"/v1/runs", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/runs %s: status %d body %v", spec, code, body)
+	}
+	id, _ := body["id"].(string)
+	if id == "" {
+		t.Fatalf("submit returned no id: %v", body)
+	}
+	if state, _ := body["state"].(string); state != "queued" {
+		t.Fatalf("submitted run state = %q, want queued", state)
+	}
+	return id
+}
+
+// TestEndToEndBothShapes is the acceptance-criteria test: submit random and
+// pipeline specs over HTTP, poll to succeeded, and check the parallel
+// sink-path count matched the serial reference inside the service.
+func TestEndToEndBothShapes(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 8, Dispatchers: 2})
+	specs := []string{
+		`{"shape":"random","nodes":500,"p":0.02,"seed":11,"workers":4}`,
+		`{"shape":"pipeline","stages":80,"width":4,"work":10}`,
+	}
+	for _, spec := range specs {
+		id := submit(t, ts.URL, spec)
+		body := pollUntil(t, ts.URL, id, "succeeded")
+		result, ok := body["result"].(map[string]any)
+		if !ok {
+			t.Fatalf("succeeded run has no result: %v", body)
+		}
+		if match, _ := result["match"].(bool); !match {
+			t.Errorf("spec %s: match = false", spec)
+		}
+		if paths, _ := result["sink_paths_mod64"].(float64); paths == 0 {
+			t.Errorf("spec %s: zero sink paths", spec)
+		}
+		if _, hasStart := body["started_at"]; !hasStart {
+			t.Errorf("spec %s: missing started_at", spec)
+		}
+	}
+}
+
+func TestCancelInFlightOverHTTP(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 4, Dispatchers: 1})
+	id := submit(t, ts.URL, `{"shape":"pipeline","stages":40000,"width":4,"work":2000}`)
+	pollUntil(t, ts.URL, id, "running")
+	code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/runs/"+id+"/cancel", "")
+	if code != http.StatusOK {
+		t.Fatalf("cancel: status %d", code)
+	}
+	pollUntil(t, ts.URL, id, "cancelled")
+	// Cancelling a terminal run conflicts.
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/runs/"+id+"/cancel", ""); code != http.StatusConflict {
+		t.Errorf("cancel terminal run: status %d, want 409", code)
+	}
+}
+
+func TestListAndFilter(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 8, Dispatchers: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ids = append(ids, submit(t, ts.URL, fmt.Sprintf(`{"shape":"pipeline","stages":20,"width":2,"seed":%d}`, i)))
+	}
+	for _, id := range ids {
+		pollUntil(t, ts.URL, id, "succeeded")
+	}
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/v1/runs", "")
+	if code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	if n, _ := body["count"].(float64); int(n) != 3 {
+		t.Errorf("list count = %v, want 3", body["count"])
+	}
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/runs?state=succeeded", "")
+	if code != http.StatusOK || int(body["count"].(float64)) != 3 {
+		t.Errorf("filtered list = %d %v", code, body)
+	}
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/runs?state=failed", "")
+	if code != http.StatusOK || int(body["count"].(float64)) != 0 {
+		t.Errorf("failed filter = %d %v", code, body)
+	}
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/runs?state=bogus", ""); code != http.StatusBadRequest {
+		t.Errorf("bogus state filter: status %d, want 400", code)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 4, Dispatchers: 1})
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"GET", "/v1/runs/r999999-deadbeef", "", http.StatusNotFound},
+		{"POST", "/v1/runs/r999999-deadbeef/cancel", "", http.StatusNotFound},
+		{"POST", "/v1/runs", `not json`, http.StatusBadRequest},
+		{"POST", "/v1/runs", `{"shape":"random","nodes":1}`, http.StatusBadRequest},
+		{"POST", "/v1/runs", `{"shape":"hexagon"}`, http.StatusBadRequest},
+		{"POST", "/v1/runs", `{"shape":"pipeline","stages":5,"width":2,"bogus_knob":1}`, http.StatusBadRequest},
+		{"DELETE", "/v1/runs", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		code, body := doJSON(t, tc.method, ts.URL+tc.path, tc.body)
+		if code != tc.want {
+			t.Errorf("%s %s: status %d, want %d (body %v)", tc.method, tc.path, code, tc.want, body)
+		}
+		if code >= 400 && code != http.StatusMethodNotAllowed {
+			if msg, _ := body["error"].(string); msg == "" {
+				t.Errorf("%s %s: error body missing message: %v", tc.method, tc.path, body)
+			}
+		}
+	}
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 1, Dispatchers: 1})
+	// Occupy the dispatcher and fill the queue with slow runs.
+	slow := `{"shape":"pipeline","stages":2000,"width":4,"work":20000}`
+	id := submit(t, ts.URL, slow)
+	pollUntil(t, ts.URL, id, "running")
+	submit(t, ts.URL, slow)
+	got429 := false
+	for i := 0; i < 20 && !got429; i++ {
+		code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/runs", slow)
+		got429 = code == http.StatusTooManyRequests
+	}
+	if !got429 {
+		t.Error("saturated queue never returned 429")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 7, Dispatchers: 2})
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if status, _ := body["status"].(string); status != "ok" {
+		t.Errorf("healthz status = %v", body["status"])
+	}
+	stats, ok := body["stats"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz missing stats: %v", body)
+	}
+	if depth, _ := stats["queue_depth"].(float64); int(depth) != 7 {
+		t.Errorf("queue_depth = %v, want 7", stats["queue_depth"])
+	}
+}
+
+// TestGracefulServeDrain exercises the serve loop directly: cancel the
+// context and verify in-flight runs drain to completion before exit.
+func TestGracefulServeDrain(t *testing.T) {
+	svc := core.NewService(core.ServiceOptions{QueueDepth: 4, Dispatchers: 2})
+	srv := New(svc)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	ln := newLocalListener(t)
+	go func() { done <- srv.serve(ctx, ln, 15*time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	// Wait for the listener to accept.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := http.Get(base + "/healthz"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never came up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	id := submit(t, base, `{"shape":"pipeline","stages":20000,"width":4,"work":3000}`)
+	pollUntil(t, base, id, "running")
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("serve did not return after ctx cancel")
+	}
+	// The in-flight run must have drained to success, not been dropped.
+	r, err := svc.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.State != core.RunSucceeded {
+		t.Errorf("drained run state = %s, want succeeded", r.State)
+	}
+}
+
+func newLocalListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
