@@ -1,13 +1,15 @@
-// Command dagbench generates a benchmark DAG, executes the path-counting
-// workload both serially and on the concurrent worker-pool scheduler, checks
-// the two results against each other, and prints timing as JSON. It drives
-// the same execution path as the dagd service (core.ExecuteRun), so the CLI
-// and the daemon can never report differently for the same spec.
+// Command dagbench generates a benchmark DAG, executes a registered
+// workload both serially and on the concurrent work-stealing scheduler,
+// checks the two results against each other, and prints timing as JSON. It
+// drives the same execution path as the dagd service (core.ExecuteRun), so
+// the CLI and the daemon can never report differently for the same spec.
 //
 // Usage:
 //
 //	dagbench -nodes 1000 -p 0.01 -workers 8
 //	dagbench -type pipeline -stages 200 -width 4 -work 1000
+//	dagbench -workload hashchain -nodes 2000 -p 0.01
+//	dagbench -list-workloads
 package main
 
 import (
@@ -45,17 +47,26 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator seed")
 		work      = flag.Int("work", 0, "busy-work iterations per node (Nabbit W)")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+		workload  = flag.String("workload", "", "registered workload name (empty = "+core.DefaultWorkload+")")
+		list      = flag.Bool("list-workloads", false, "print registered workload names and exit")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "overall run timeout")
 	)
 	flag.Parse()
 
-	if err := run(*shapeFlag, *nodes, *p, *stages, *width, *seed, *work, *workers, *timeout); err != nil {
+	if *list {
+		for _, name := range core.Workloads() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	if err := run(*shapeFlag, *workload, *nodes, *p, *stages, *width, *seed, *work, *workers, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "dagbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(shapeFlag string, nodes int, p float64, stages, width int, seed int64, work, workers int, timeout time.Duration) error {
+func run(shapeFlag, workload string, nodes int, p float64, stages, width int, seed int64, work, workers int, timeout time.Duration) error {
 	shape, err := core.ParseShape(shapeFlag)
 	if err != nil {
 		return err
@@ -72,8 +83,9 @@ func run(shapeFlag string, nodes int, p float64, stages, width int, seed int64, 
 			Width:    width,
 			Seed:     seed,
 		},
-		Work:    work,
-		Workers: workers,
+		Workload: workload,
+		Work:     work,
+		Workers:  workers,
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)

@@ -1,15 +1,20 @@
 // Command dagd is the long-running DAG execution service: it accepts run
 // specs over a JSON HTTP API, executes them concurrently through the
-// worker-pool scheduler, and tracks each run's lifecycle
+// work-stealing scheduler, and tracks each run's lifecycle
 // (queued → running → succeeded|failed|cancelled) in an in-memory store.
+// Each spec may name any registered workload (pathcount, hashchain,
+// longestpath, ...); specs that name none get the -workload default.
 //
 // Usage:
 //
 //	dagd -addr :8080 -queue 256 -dispatchers 4
+//	dagd -workload hashchain
 //
 // Submit and poll with curl:
 //
+//	curl -s localhost:8080/v1/workloads
 //	curl -s -X POST localhost:8080/v1/runs -d '{"shape":"pipeline","stages":100,"width":4}'
+//	curl -s -X POST localhost:8080/v1/runs -d '{"shape":"random","nodes":2000,"p":0.01,"workload":"longestpath"}'
 //	curl -s localhost:8080/v1/runs/<id>
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight runs
@@ -37,6 +42,7 @@ func main() {
 		queueDepth   = flag.Int("queue", 256, "dispatch queue depth (max waiting runs)")
 		dispatchers  = flag.Int("dispatchers", 0, "concurrent run executions (0 = NumCPU)")
 		runWorkers   = flag.Int("run-workers", 0, "default scheduler pool size per run (0 = NumCPU)")
+		workload     = flag.String("workload", "", "default workload for specs that name none (empty = "+core.DefaultWorkload+")")
 		retainRuns   = flag.Int("retain", 0, "terminal runs to keep, oldest evicted first (0 = 4096, negative = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight runs on shutdown")
 	)
@@ -45,10 +51,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if _, err := core.LookupWorkload(*workload); err != nil {
+		fmt.Fprintln(os.Stderr, "dagd:", err)
+		os.Exit(2)
+	}
 	svc := core.NewService(core.ServiceOptions{
 		QueueDepth:        *queueDepth,
 		Dispatchers:       *dispatchers,
 		DefaultRunWorkers: *runWorkers,
+		DefaultWorkload:   *workload,
 		RetainRuns:        *retainRuns,
 	})
 	srv := server.New(svc)

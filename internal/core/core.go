@@ -54,10 +54,24 @@ type (
 	Compute  = sched.Compute
 	Executor = sched.Executor
 	Options  = sched.Options
+	Workload = sched.Workload
 )
 
-// NewExecutor returns a worker-pool executor for d.
+// DefaultWorkload is the workload name assumed when a spec names none.
+const DefaultWorkload = sched.DefaultWorkload
+
+// NewExecutor returns a work-stealing executor for d.
 func NewExecutor(d *DAG, opts Options) *Executor { return sched.New(d, opts) }
+
+// RegisterWorkload adds a workload implementation to the registry; specs
+// may then name it for admission through dagbench or dagd.
+func RegisterWorkload(w Workload) error { return sched.RegisterWorkload(w) }
+
+// LookupWorkload resolves a workload name ("" = DefaultWorkload).
+func LookupWorkload(name string) (Workload, error) { return sched.LookupWorkload(name) }
+
+// Workloads returns the sorted names of all registered workloads.
+func Workloads() []string { return sched.Workloads() }
 
 // CountPathsParallel counts source→sink paths concurrently on a worker pool.
 func CountPathsParallel(ctx context.Context, d *DAG, workers, work int) ([]uint64, error) {

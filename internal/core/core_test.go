@@ -28,6 +28,28 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeWorkloads exercises the workload registry through the facade:
+// lookup, execution of a non-default workload, and the default constant.
+func TestFacadeWorkloads(t *testing.T) {
+	names := Workloads()
+	if len(names) < 3 {
+		t.Fatalf("Workloads() = %v, want the three built-ins", names)
+	}
+	if _, err := LookupWorkload(DefaultWorkload); err != nil {
+		t.Fatalf("default workload unresolvable: %v", err)
+	}
+	res, err := ExecuteRun(context.Background(), RunSpec{
+		Config:   GenConfig{Shape: PipelineShape, Stages: 30, Width: 3},
+		Workload: "hashchain",
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Match || res.Workload != "hashchain" {
+		t.Errorf("facade hashchain run = %+v, want matching hashchain result", res)
+	}
+}
+
 func TestFacadeBuilderCycle(t *testing.T) {
 	b := NewBuilder(2)
 	if err := b.AddEdge(0, 1); err != nil {

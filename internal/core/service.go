@@ -53,6 +53,9 @@ type ServiceOptions struct {
 	// DefaultRunWorkers is the per-run scheduler pool size for specs that
 	// leave Workers at 0 (0 = NumCPU).
 	DefaultRunWorkers int
+	// DefaultWorkload is stamped onto specs that name no workload
+	// ("" = the registry default, sched.DefaultWorkload).
+	DefaultWorkload string
 	// RetainRuns bounds how many terminal runs are kept, oldest-finished
 	// evicted first (0 = 4096, negative = unlimited).
 	RetainRuns int
@@ -71,22 +74,31 @@ type ServiceStats struct {
 // plus a dispatcher pool executing submitted specs through the scheduler.
 // It is what dagd serves over HTTP.
 type Service struct {
-	store *run.Store
-	disp  *dispatch.Dispatcher
+	store           *run.Store
+	disp            *dispatch.Dispatcher
+	defaultWorkload string
 }
 
 // NewService builds a Service and starts its dispatcher pool. Callers must
 // eventually call Shutdown.
 func NewService(opts ServiceOptions) *Service {
+	if opts.DefaultWorkload == "" {
+		opts.DefaultWorkload = DefaultWorkload
+	}
 	store := run.NewStore()
 	disp := dispatch.New(store, dispatch.Options{
 		QueueDepth:        opts.QueueDepth,
 		Dispatchers:       opts.Dispatchers,
 		DefaultRunWorkers: opts.DefaultRunWorkers,
+		DefaultWorkload:   opts.DefaultWorkload,
 		RetainRuns:        opts.RetainRuns,
 	})
-	return &Service{store: store, disp: disp}
+	return &Service{store: store, disp: disp, defaultWorkload: opts.DefaultWorkload}
 }
+
+// DefaultWorkloadName reports which workload the service stamps onto specs
+// that name none (surfaced by GET /v1/workloads).
+func (s *Service) DefaultWorkloadName() string { return s.defaultWorkload }
 
 // Submit validates and enqueues a run, returning its queued snapshot.
 func (s *Service) Submit(spec RunSpec) (RunInfo, error) { return s.disp.Submit(spec) }

@@ -41,6 +41,10 @@ type Options struct {
 	// DefaultRunWorkers is the scheduler pool size for specs that leave
 	// Workers at 0. Zero or negative means NumCPU.
 	DefaultRunWorkers int
+	// DefaultWorkload is stamped onto specs that name no workload. Empty
+	// means the registry default (sched.DefaultWorkload). An unknown name
+	// here is caught by spec validation at Submit time.
+	DefaultWorkload string
 	// RetainRuns bounds how many terminal runs the store keeps; the
 	// oldest-finished are evicted past it. Zero means 4096; negative
 	// means unlimited retention.
@@ -117,6 +121,11 @@ func (d *Dispatcher) Dispatchers() int { return d.opts.Dispatchers }
 // blocks: a full queue fails fast with ErrQueueFull and no run is left
 // behind in the store.
 func (d *Dispatcher) Submit(spec run.Spec) (run.Run, error) {
+	// Stamp the service default before validation so the stored spec (and
+	// any 400 for a bad default) reflects what will actually execute.
+	if spec.Workload == "" {
+		spec.Workload = d.opts.DefaultWorkload
+	}
 	if err := spec.Validate(); err != nil {
 		return run.Run{}, err
 	}

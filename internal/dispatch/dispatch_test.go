@@ -77,6 +77,45 @@ func TestSubmitExecutesToSuccess(t *testing.T) {
 	}
 }
 
+// TestDefaultWorkloadStamped verifies the service-level default workload is
+// applied at admission: the stored spec and the finished result both carry
+// it, and an explicit workload in the spec still wins.
+func TestDefaultWorkloadStamped(t *testing.T) {
+	store, d := newDispatcher(t, Options{QueueDepth: 8, Dispatchers: 1, DefaultWorkload: "hashchain"})
+
+	r, err := d.Submit(pipelineSpec(20, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spec.Workload != "hashchain" {
+		t.Errorf("stored spec workload = %q, want service default hashchain", r.Spec.Workload)
+	}
+	got := waitForState(t, store, r.ID, run.StateSucceeded)
+	if got.Result.Workload != "hashchain" {
+		t.Errorf("result workload = %q, want hashchain", got.Result.Workload)
+	}
+
+	explicit := pipelineSpec(20, 2, 0)
+	explicit.Workload = "longestpath"
+	r2, err := d.Submit(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Spec.Workload != "longestpath" {
+		t.Errorf("explicit workload overridden to %q", r2.Spec.Workload)
+	}
+	waitForState(t, store, r2.ID, run.StateSucceeded)
+}
+
+// TestUnknownDefaultWorkloadFailsSubmit: a bad service default is caught at
+// admission, not deep inside a dispatcher goroutine.
+func TestUnknownDefaultWorkloadFailsSubmit(t *testing.T) {
+	_, d := newDispatcher(t, Options{QueueDepth: 4, Dispatchers: 1, DefaultWorkload: "no-such"})
+	if _, err := d.Submit(pipelineSpec(5, 2, 0)); err == nil {
+		t.Error("Submit with unknown default workload succeeded")
+	}
+}
+
 func TestSubmitInvalidSpec(t *testing.T) {
 	_, d := newDispatcher(t, Options{QueueDepth: 2, Dispatchers: 1})
 	if _, err := d.Submit(run.Spec{Config: gen.Config{Shape: gen.Random, Nodes: 1}}); err == nil {

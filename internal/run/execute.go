@@ -11,21 +11,27 @@ import (
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/sched"
 )
 
-// ErrMismatch is returned (wrapped) by Execute when the parallel path
-// counts diverge from the serial reference.
-var ErrMismatch = errors.New("run: parallel path counts diverge from serial reference")
+// ErrMismatch is returned (wrapped) by Execute when the parallel results
+// diverge from the workload's serial reference.
+var ErrMismatch = errors.New("run: parallel results diverge from serial reference")
 
-// Execute performs one run end to end: generate the DAG from spec, sweep
-// the serial path-count reference, run the concurrent scheduler, and
-// compare the two. It is the single execution path shared by the dagbench
-// CLI and the dagd dispatcher, so the two surfaces can never drift.
+// Execute performs one run end to end: resolve the workload from the
+// registry, generate the DAG from spec, sweep the workload's serial
+// reference, run the concurrent scheduler with the workload's Compute hook,
+// and verify the two against each other. It is the single execution path
+// shared by the dagbench CLI and the dagd dispatcher, so the two surfaces
+// can never drift.
 //
 // defaultWorkers is used when spec.Workers is 0 (<= 0 falls back to
-// NumCPU). On a mismatch the measured Result (with Match false) is
-// returned alongside an error wrapping ErrMismatch; on generation or
-// cancellation errors the Result is nil. Execute does not call
-// spec.Validate — admission policy belongs to the caller.
+// NumCPU). On a verification mismatch the measured Result (with Match
+// false) is returned alongside an error wrapping ErrMismatch; on unknown
+// workloads, generation, or cancellation errors the Result is nil. Execute
+// does not call spec.Validate — admission policy belongs to the caller.
 func Execute(ctx context.Context, spec Spec, defaultWorkers int) (*Result, error) {
+	workload, err := sched.LookupWorkload(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
 	d, err := gen.Generate(spec.Config)
 	if err != nil {
 		return nil, err
@@ -39,35 +45,28 @@ func Execute(ctx context.Context, spec Spec, defaultWorkers int) (*Result, error
 	}
 
 	t0 := time.Now()
-	serial, err := sched.CountPathsSerialCtx(ctx, d, spec.Work)
+	serial, err := workload.Serial(ctx, d, spec.Work)
 	if err != nil {
 		return nil, err
 	}
 	serialDur := time.Since(t0)
 
 	t1 := time.Now()
-	parallel, err := sched.CountPathsParallel(ctx, d, workers, spec.Work)
+	parallel, err := sched.New(d, sched.Options{Workers: workers}).Run(ctx, workload.Compute(spec.Work))
 	if err != nil {
 		return nil, err
 	}
 	parallelDur := time.Since(t1)
 
-	match := len(serial) == len(parallel)
-	if match {
-		for i := range serial {
-			if serial[i] != parallel[i] {
-				match = false
-				break
-			}
-		}
-	}
+	verifyErr := workload.Verify(d, serial, parallel)
 	res := &Result{
+		Workload:       workload.Name(),
 		Nodes:          d.NumNodes(),
 		Edges:          d.NumEdges(),
 		Depth:          d.Depth(),
 		Workers:        workers,
 		SinkPaths:      sched.TotalSinkPaths(d, serial),
-		Match:          match,
+		Match:          verifyErr == nil,
 		SerialMillis:   float64(serialDur.Microseconds()) / 1000,
 		ParallelMillis: float64(parallelDur.Microseconds()) / 1000,
 	}
@@ -77,8 +76,9 @@ func Execute(ctx context.Context, spec Spec, defaultWorkers int) (*Result, error
 	if serialDur > 0 && parallelDur > 0 {
 		res.Speedup = float64(serialDur) / float64(parallelDur)
 	}
-	if !match {
-		return res, fmt.Errorf("%w on %d-node %s dag (seed %d)", ErrMismatch, d.NumNodes(), spec.Shape, spec.Seed)
+	if verifyErr != nil {
+		return res, fmt.Errorf("%w: %v (workload %s on %d-node %s dag, seed %d)",
+			ErrMismatch, verifyErr, workload.Name(), d.NumNodes(), spec.Shape, spec.Seed)
 	}
 	return res, nil
 }

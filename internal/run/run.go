@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/sched"
 )
 
 // State is a run's lifecycle state.
@@ -87,8 +88,9 @@ func (s State) Terminal() bool {
 // config plus the execution knobs. Its JSON form is the POST /v1/runs body.
 type Spec struct {
 	gen.Config
-	Work    int `json:"work,omitempty"`    // busy-work iterations per node (Nabbit W)
-	Workers int `json:"workers,omitempty"` // per-run worker pool size; 0 = service default
+	Workload string `json:"workload,omitempty"` // registered workload name; "" = the default (pathcount)
+	Work     int    `json:"work,omitempty"`     // busy-work iterations per node (Nabbit W)
+	Workers  int    `json:"workers,omitempty"`  // per-run worker pool size; 0 = service default
 }
 
 // Spec validation bounds. The service executes untrusted specs, so sizes
@@ -131,17 +133,23 @@ func (s Spec) Validate() error {
 	if s.Workers < 0 || s.Workers > MaxWorkers {
 		return fmt.Errorf("run: workers %d outside [0,%d]", s.Workers, MaxWorkers)
 	}
+	// Unknown workload names fail admission here (HTTP 400), never inside a
+	// dispatcher; the empty string means the registry default.
+	if _, err := sched.LookupWorkload(s.Workload); err != nil {
+		return err
+	}
 	return nil
 }
 
 // Result holds the measured outcome of a finished run. It is written once
 // by the dispatcher and never mutated afterwards, so snapshots may share it.
 type Result struct {
+	Workload       string  `json:"workload"`
 	Nodes          int     `json:"nodes"`
 	Edges          int     `json:"edges"`
 	Depth          int     `json:"depth"`
 	Workers        int     `json:"workers"`
-	SinkPaths      uint64  `json:"sink_paths_mod64"`
+	SinkPaths      uint64  `json:"sink_paths_mod64"` // sum of sink values (path count for pathcount)
 	Match          bool    `json:"match"`
 	SerialMillis   float64 `json:"serial_ms"`
 	ParallelMillis float64 `json:"parallel_ms"`

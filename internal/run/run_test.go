@@ -8,7 +8,9 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/sched"
 )
 
 func pipelineSpec() Spec {
@@ -33,6 +35,9 @@ func TestSpecValidate(t *testing.T) {
 		{"bad shape", Spec{Config: gen.Config{Shape: gen.Shape(42), Nodes: 10}}, false},
 		{"negative work", func() Spec { s := pipelineSpec(); s.Work = -1; return s }(), false},
 		{"too many workers", func() Spec { s := pipelineSpec(); s.Workers = MaxWorkers + 1; return s }(), false},
+		{"default workload", func() Spec { s := pipelineSpec(); s.Workload = ""; return s }(), true},
+		{"named workload", func() Spec { s := pipelineSpec(); s.Workload = "hashchain"; return s }(), true},
+		{"unknown workload", func() Spec { s := pipelineSpec(); s.Workload = "bogus"; return s }(), false},
 	}
 	for _, tc := range cases {
 		if err := tc.spec.Validate(); (err == nil) != tc.ok {
@@ -43,12 +48,13 @@ func TestSpecValidate(t *testing.T) {
 
 func TestSpecJSONRoundTrip(t *testing.T) {
 	spec := Spec{
-		Config: gen.Config{Shape: gen.Random, Nodes: 500, EdgeProb: 0.02, Seed: 7},
-		Work:   100,
+		Config:   gen.Config{Shape: gen.Random, Nodes: 500, EdgeProb: 0.02, Seed: 7},
+		Workload: "hashchain",
+		Work:     100,
 	}
 	// The wire format flattens generator and execution knobs into one object
 	// with the shape serialized by name.
-	blob := `{"shape":"random","nodes":500,"p":0.02,"seed":7,"work":100}`
+	blob := `{"shape":"random","nodes":500,"p":0.02,"seed":7,"workload":"hashchain","work":100}`
 	var decoded Spec
 	if err := json.Unmarshal([]byte(blob), &decoded); err != nil {
 		t.Fatal(err)
@@ -352,6 +358,108 @@ func TestExecuteDeterministicAcrossCalls(t *testing.T) {
 	}
 	if a.SinkPaths != b.SinkPaths {
 		t.Errorf("same spec, different sink paths: %d vs %d", a.SinkPaths, b.SinkPaths)
+	}
+}
+
+// TestExecuteAllWorkloads drives every registered workload through the
+// shared execution path: each must generate, verify serial-vs-parallel, and
+// stamp its name into the result.
+func TestExecuteAllWorkloads(t *testing.T) {
+	for _, name := range sched.Workloads() {
+		if name == brokenWorkloadName {
+			continue
+		}
+		spec := Spec{
+			Config:   gen.Config{Shape: gen.Random, Nodes: 200, EdgeProb: 0.03, Seed: 8},
+			Workload: name,
+			Workers:  4,
+		}
+		res, err := Execute(context.Background(), spec, 2)
+		if err != nil {
+			t.Fatalf("Execute(workload=%s): %v", name, err)
+		}
+		if !res.Match {
+			t.Errorf("workload %s: match = false", name)
+		}
+		if res.Workload != name {
+			t.Errorf("result workload = %q, want %q", res.Workload, name)
+		}
+	}
+}
+
+// brokenWorkload is a deliberately inconsistent workload: its parallel hook
+// and serial reference disagree on every non-source node, so Execute must
+// take the mismatch path.
+const brokenWorkloadName = "broken-for-test"
+
+type brokenWorkload struct{}
+
+func (brokenWorkload) Name() string { return brokenWorkloadName }
+
+func (brokenWorkload) Compute(work int) sched.Compute {
+	return func(id dag.NodeID, parentValues []uint64) uint64 { return uint64(len(parentValues)) }
+}
+
+func (brokenWorkload) Serial(ctx context.Context, d *dag.DAG, work int) ([]uint64, error) {
+	values := make([]uint64, d.NumNodes())
+	for i := range values {
+		values[i] = 1 << 40 // never what Compute returns for a non-source
+	}
+	return values, nil
+}
+
+func (brokenWorkload) Verify(d *dag.DAG, serial, parallel []uint64) error {
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			return fmt.Errorf("node %d: %d != %d", i, parallel[i], serial[i])
+		}
+	}
+	return nil
+}
+
+func init() {
+	if err := sched.RegisterWorkload(brokenWorkload{}); err != nil {
+		panic(err)
+	}
+}
+
+// TestExecuteMismatch covers the self-check failure path: a broken workload
+// must yield Match=false and an error wrapping ErrMismatch, with the
+// measured Result still returned so callers can report timings alongside
+// the failure.
+func TestExecuteMismatch(t *testing.T) {
+	spec := pipelineSpec()
+	spec.Workload = brokenWorkloadName
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("registered broken workload failed validation: %v", err)
+	}
+	res, err := Execute(context.Background(), spec, 2)
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("Execute(broken) error = %v, want ErrMismatch", err)
+	}
+	if res == nil {
+		t.Fatal("mismatch path returned nil Result; measured timings must survive the failure")
+	}
+	if res.Match {
+		t.Error("mismatch result has Match=true")
+	}
+	if res.Workload != brokenWorkloadName {
+		t.Errorf("result workload = %q, want %q", res.Workload, brokenWorkloadName)
+	}
+	if res.Nodes == 0 {
+		t.Error("mismatch result lost its measurements")
+	}
+}
+
+func TestExecuteUnknownWorkload(t *testing.T) {
+	spec := pipelineSpec()
+	spec.Workload = "no-such-workload"
+	res, err := Execute(context.Background(), spec, 2)
+	if err == nil {
+		t.Fatal("Execute with unknown workload succeeded")
+	}
+	if res != nil {
+		t.Errorf("unknown workload returned a Result: %+v", res)
 	}
 }
 

@@ -1,15 +1,22 @@
 // Package sched executes the nodes of a DAG concurrently on a worker pool,
 // respecting dependency order: a node becomes runnable the moment its last
-// parent retires. The per-node work is a pluggable Compute hook; the
-// built-in PathCount workload counts source→sink paths, and its parallel
-// result is checkable against the serial reference CountPathsSerial.
+// parent retires. The per-node work is a pluggable Workload resolved from a
+// registry (see workload.go); the built-in pathcount workload counts
+// source→sink paths, hashchain mixes a non-commutative digest along every
+// dependency edge, and longestpath computes critical-path depths. Every
+// workload carries its own single-threaded reference sweep and verifier, so
+// the parallel scheduler is self-checking end to end.
 //
-// Synchronization is lock-free on the hot path: each node carries an atomic
-// pending-parent counter. A worker that retires a node decrements every
-// child's counter, and whichever worker drops a counter to zero enqueues
-// that child on the shared ready channel. Atomic RMW on the counter plus the
-// channel hand-off establish happens-before between a parent's published
-// value and every reader, so runs are clean under the race detector.
+// The scheduler hot path is a work-stealing core (see steal.go): each
+// worker owns a deque of ready nodes, pushing and popping LIFO at the tail
+// and stealing half a victim's deque FIFO from the head when it runs dry. A
+// retiring node publishes all newly-ready children in one batched push and
+// keeps the first child to execute directly. Dependency tracking stays
+// lock-free: each node carries an atomic pending-parent counter, and
+// whichever worker drops a counter to zero owns the child. Atomic RMW on
+// the counter plus the deque mutex hand-off establish happens-before
+// between a parent's published value and every reader, so runs are clean
+// under the race detector.
 package sched
 
 import (
@@ -17,7 +24,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
 )
@@ -50,9 +56,9 @@ func New(d *dag.DAG, opts Options) *Executor {
 	return &Executor{d: d, workers: w}
 }
 
-// Run executes f once per node, in dependency order, on the worker pool.
-// It returns the per-node values indexed by NodeID. If ctx is cancelled
-// mid-run, workers drain promptly and ctx.Err() is returned.
+// Run executes f once per node, in dependency order, on the work-stealing
+// worker pool. It returns the per-node values indexed by NodeID. If ctx is
+// cancelled mid-run, workers drain promptly and ctx.Err() is returned.
 func (e *Executor) Run(ctx context.Context, f Compute) ([]uint64, error) {
 	n := e.d.NumNodes()
 	values := make([]uint64, n)
@@ -60,54 +66,19 @@ func (e *Executor) Run(ctx context.Context, f Compute) ([]uint64, error) {
 		return values, nil
 	}
 
-	pending := make([]atomic.Int32, n)
-	ready := make(chan dag.NodeID, n)
-	for v := 0; v < n; v++ {
-		deg := e.d.InDegree(dag.NodeID(v))
-		pending[v].Store(int32(deg))
-		if deg == 0 {
-			ready <- dag.NodeID(v)
-		}
-	}
-
-	var retired atomic.Int64
-	done := make(chan struct{})
+	r := newWSRun(e.d, f, e.workers, values)
 	var wg sync.WaitGroup
 	for w := 0; w < e.workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(self int) {
 			defer wg.Done()
-			// Scratch buffer for parent values, reused across nodes.
-			buf := make([]uint64, 0, 16)
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-done:
-					return
-				case id := <-ready:
-					parents := e.d.Parents(id)
-					buf = buf[:0]
-					for _, p := range parents {
-						buf = append(buf, values[p])
-					}
-					values[id] = f(id, buf)
-					for _, c := range e.d.Children(id) {
-						if pending[c].Add(-1) == 0 {
-							ready <- c
-						}
-					}
-					if retired.Add(1) == int64(n) {
-						close(done)
-					}
-				}
-			}
-		}()
+			r.worker(ctx, self)
+		}(w)
 	}
 	wg.Wait()
 	// A run that retired every node is a success even if ctx was cancelled
 	// in the instant between the last retirement and the workers draining.
-	if got := retired.Load(); got == int64(n) {
+	if got := r.retired.Load(); got == int64(n) {
 		return values, nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -116,27 +87,26 @@ func (e *Executor) Run(ctx context.Context, f Compute) ([]uint64, error) {
 	// Build guarantees acyclicity, so this is unreachable unless the DAG
 	// was constructed outside Builder; fail loudly rather than return
 	// partial values.
-	return nil, fmt.Errorf("sched: only %d of %d nodes retired (cyclic or corrupt graph)", retired.Load(), n)
+	return nil, fmt.Errorf("sched: only %d of %d nodes retired (cyclic or corrupt graph)", r.retired.Load(), n)
 }
 
-// PathCount returns a Compute hook that counts the number of distinct paths
-// from any source to each node: sources get 1, and every other node the sum
-// of its parents' counts. Counts use wrapping uint64 arithmetic, which is
-// deterministic and therefore directly comparable with the serial reference.
-// work adds W iterations of busy arithmetic per node to emulate the Nabbit
-// NodeWork knob.
-func PathCount(work int) Compute {
-	return func(id dag.NodeID, parentValues []uint64) uint64 {
-		spin(work)
-		if len(parentValues) == 0 {
-			return 1
-		}
-		var sum uint64
-		for _, v := range parentValues {
-			sum += v
-		}
-		return sum
+// mustLookup resolves a built-in workload; the registry is populated in
+// init, so a miss is a programming error.
+func mustLookup(name string) Workload {
+	w, err := LookupWorkload(name)
+	if err != nil {
+		panic(err)
 	}
+	return w
+}
+
+// PathCount returns the Compute hook of the built-in pathcount workload:
+// sources get 1, and every other node the sum of its parents' counts, in
+// wrapping uint64 arithmetic (deterministic and therefore directly
+// comparable with the serial reference). work adds W iterations of busy
+// arithmetic per node to emulate the Nabbit NodeWork knob.
+func PathCount(work int) Compute {
+	return mustLookup(DefaultWorkload).Compute(work)
 }
 
 // CountPathsParallel generates per-node path counts for d using the worker
@@ -154,46 +124,16 @@ func CountPathsSerial(d *dag.DAG, work int) []uint64 {
 }
 
 // CountPathsSerialCtx is CountPathsSerial with cooperative cancellation:
-// the sweep polls ctx every few nodes and returns ctx.Err() if it fires.
-// Long-running services (dagd) use this so that cancelling a run aborts
-// the serial reference pass too, not just the parallel one.
+// the sweep polls ctx on a spin-iteration budget and returns ctx.Err() if
+// it fires. Long-running services (dagd) use this so that cancelling a run
+// aborts the serial reference pass too, not just the parallel one.
 func CountPathsSerialCtx(ctx context.Context, d *dag.DAG, work int) ([]uint64, error) {
-	// Poll on a spin-iteration budget, not a fixed node stride: with heavy
-	// per-node work a 64-node stride would mean seconds between checks,
-	// defeating prompt cancellation and shutdown force-cancel.
-	const pollBudget = 1 << 20
-	pollEvery := 64
-	if work > 0 {
-		if pollEvery = pollBudget / work; pollEvery < 1 {
-			pollEvery = 1
-		} else if pollEvery > 64 {
-			pollEvery = 64
-		}
-	}
-	values := make([]uint64, d.NumNodes())
-	for i, u := range d.TopoOrder() {
-		if i%pollEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		spin(work)
-		parents := d.Parents(u)
-		if len(parents) == 0 {
-			values[u] = 1
-			continue
-		}
-		var sum uint64
-		for _, p := range parents {
-			sum += values[p]
-		}
-		values[u] = sum
-	}
-	return values, nil
+	return mustLookup(DefaultWorkload).Serial(ctx, d, work)
 }
 
-// TotalSinkPaths sums the path counts of all sink nodes — the number of
-// distinct source→sink paths through the whole DAG (mod 2^64).
+// TotalSinkPaths sums the values of all sink nodes — for the pathcount
+// workload, the number of distinct source→sink paths through the whole DAG
+// (mod 2^64).
 func TotalSinkPaths(d *dag.DAG, values []uint64) uint64 {
 	var total uint64
 	for _, s := range d.Sinks() {
@@ -201,9 +141,6 @@ func TotalSinkPaths(d *dag.DAG, values []uint64) uint64 {
 	}
 	return total
 }
-
-// spinSink defeats dead-code elimination of the spin loop.
-var spinSink uint64
 
 // spin burns w iterations of integer work, emulating per-node compute cost.
 func spin(w int) {
@@ -216,5 +153,12 @@ func spin(w int) {
 		x ^= x >> 7
 		x ^= x << 17
 	}
-	atomic.AddUint64(&spinSink, x)
+	// xorshift64 never maps a nonzero state to zero, but the compiler cannot
+	// prove that, so this branch pins the loop against dead-code elimination
+	// without touching shared memory. (The previous implementation folded x
+	// into a global atomic sink, which serialized every worker on one cache
+	// line per node — the emulated-work knob itself became the bottleneck.)
+	if x == 0 {
+		panic("sched: xorshift64 state collapsed to zero")
+	}
 }

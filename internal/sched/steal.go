@@ -1,0 +1,221 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
+)
+
+// Work-stealing core. Each worker owns a deque of ready node IDs: it pushes
+// and pops at the tail (LIFO, so execution runs depth-first along the DAG
+// and stays cache-warm), while idle workers steal half a victim's deque
+// from the head (FIFO, so thieves take the oldest — widest — frontier and
+// leave the victim its hot tail). A retiring node publishes all of its
+// newly-ready children in a single batched push; the first child is kept
+// back and executed directly, so a chain of unary nodes never touches a
+// deque at all.
+//
+// Memory-model note: a child's parents' values are always visible to the
+// worker that executes it. The last parent's writer performs an atomic
+// decrement that reaches zero, then publishes the child either by keeping
+// it (same goroutine, program order) or under the deque mutex; any other
+// parent's write is ordered before its own decrement, and Go's
+// sequentially-consistent atomics order that decrement before the final
+// one. Acquiring the deque mutex (locally or via steal) therefore
+// establishes happens-before from every parent's write to the child's read,
+// and runs stay clean under the race detector.
+
+// wsDeque is one worker's ready queue. The trailing pad keeps separately
+// indexed deques off each other's cache line (the struct is padded to 64
+// bytes and heap-allocated individually).
+type wsDeque struct {
+	mu  sync.Mutex
+	buf []dag.NodeID
+	_   [32]byte
+}
+
+// pushBatch appends ids to the tail under one lock acquisition.
+func (q *wsDeque) pushBatch(ids []dag.NodeID) {
+	q.mu.Lock()
+	q.buf = append(q.buf, ids...)
+	q.mu.Unlock()
+}
+
+// popTail removes and returns the newest entry (owner side, LIFO).
+func (q *wsDeque) popTail() (dag.NodeID, bool) {
+	q.mu.Lock()
+	n := len(q.buf)
+	if n == 0 {
+		q.mu.Unlock()
+		return 0, false
+	}
+	id := q.buf[n-1]
+	q.buf = q.buf[:n-1]
+	q.mu.Unlock()
+	return id, true
+}
+
+// stealHalf removes the oldest half (rounded up) of the deque and appends
+// it to into, returning the extended slice. Stealing from the head keeps
+// FIFO order for the thief and leaves the victim its recently pushed tail.
+func (q *wsDeque) stealHalf(into []dag.NodeID) []dag.NodeID {
+	q.mu.Lock()
+	n := len(q.buf)
+	if n == 0 {
+		q.mu.Unlock()
+		return into
+	}
+	k := (n + 1) / 2
+	into = append(into, q.buf[:k]...)
+	rest := copy(q.buf, q.buf[k:])
+	q.buf = q.buf[:rest]
+	q.mu.Unlock()
+	return into
+}
+
+// wsRun is the per-Run scheduling state shared by all workers.
+type wsRun struct {
+	d       *dag.DAG
+	f       Compute
+	values  []uint64
+	pending []atomic.Int32
+	deques  []*wsDeque
+	// wake is a token semaphore for parked workers: every publish of ready
+	// work sends up to one token per item (non-blocking, capacity = worker
+	// count), so a worker that scanned every deque empty and blocked is
+	// guaranteed a wakeup for work published after its scan.
+	wake    chan struct{}
+	done    chan struct{}
+	retired atomic.Int64
+}
+
+func newWSRun(d *dag.DAG, f Compute, workers int, values []uint64) *wsRun {
+	n := len(values)
+	r := &wsRun{
+		d:       d,
+		f:       f,
+		values:  values,
+		pending: make([]atomic.Int32, n),
+		deques:  make([]*wsDeque, workers),
+		wake:    make(chan struct{}, workers),
+		done:    make(chan struct{}),
+	}
+	for i := range r.deques {
+		r.deques[i] = new(wsDeque)
+	}
+	// Seed the sources round-robin across the deques so workers start with
+	// disjoint work. Workers have not started yet, so plain appends are fine.
+	next := 0
+	for v := 0; v < n; v++ {
+		deg := d.InDegree(dag.NodeID(v))
+		r.pending[v].Store(int32(deg))
+		if deg == 0 {
+			q := r.deques[next%workers]
+			q.buf = append(q.buf, dag.NodeID(v))
+			next++
+		}
+	}
+	return r
+}
+
+// notify wakes up to k parked workers, dropping tokens once the semaphore
+// is full (at that point every worker already has a pending wakeup).
+func (r *wsRun) notify(k int) {
+	for i := 0; i < k; i++ {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+			return
+		}
+	}
+}
+
+// steal scans the other workers' deques round-robin from self+1 and takes
+// half of the first non-empty one: the first stolen node is returned to
+// execute immediately, the rest land on self's deque (with a notify so
+// other parked workers can re-steal the surplus).
+func (r *wsRun) steal(self int, scratch *[]dag.NodeID) (dag.NodeID, bool) {
+	w := len(r.deques)
+	for off := 1; off < w; off++ {
+		victim := r.deques[(self+off)%w]
+		got := victim.stealHalf((*scratch)[:0])
+		if len(got) == 0 {
+			continue
+		}
+		if len(got) > 1 {
+			r.deques[self].pushBatch(got[1:])
+			r.notify(len(got) - 1)
+		}
+		*scratch = got[:0]
+		return got[0], true
+	}
+	return 0, false
+}
+
+// worker is one scheduler goroutine: execute the local deque depth-first,
+// steal when it runs dry, park when the whole frontier is empty.
+func (r *wsRun) worker(ctx context.Context, self int) {
+	q := r.deques[self]
+	n := int64(len(r.values))
+	parentBuf := make([]uint64, 0, 16)
+	batch := make([]dag.NodeID, 0, 16)
+	stealBuf := make([]dag.NodeID, 0, 16)
+	var next dag.NodeID
+	have := false
+	for {
+		if !have {
+			var ok bool
+			if next, ok = q.popTail(); !ok {
+				if next, ok = r.steal(self, &stealBuf); !ok {
+					select {
+					case <-r.done:
+						return
+					case <-ctx.Done():
+						return
+					case <-r.wake:
+						continue
+					}
+				}
+			}
+			have = true
+		}
+		// One cheap cancellation poll per node: a non-blocking receive on a
+		// not-ready channel stays on its lock-free fast path.
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		id := next
+		have = false
+
+		parentBuf = parentBuf[:0]
+		for _, p := range r.d.Parents(id) {
+			parentBuf = append(parentBuf, r.values[p])
+		}
+		r.values[id] = r.f(id, parentBuf)
+
+		// Retire: collect every child whose last dependency this was, keep
+		// the first to run next, and publish the rest in one batched push.
+		batch = batch[:0]
+		for _, c := range r.d.Children(id) {
+			if r.pending[c].Add(-1) == 0 {
+				batch = append(batch, c)
+			}
+		}
+		if len(batch) > 0 {
+			next = batch[0]
+			have = true
+			if len(batch) > 1 {
+				q.pushBatch(batch[1:])
+				r.notify(len(batch) - 1)
+			}
+		}
+		if r.retired.Add(1) == n {
+			close(r.done)
+			return
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
+)
+
+// Workload bundles everything the engine needs to run one kind of per-node
+// computation over a DAG: a registry name, the concurrent Compute hook, a
+// single-threaded reference sweep, and a verifier comparing the two. The
+// scheduler itself is workload-agnostic; the run layer resolves a workload
+// by name at admission time and dispatches through this interface, so new
+// scenarios plug in without touching the scheduler or the service.
+type Workload interface {
+	// Name is the registry key ("pathcount", "hashchain", ...).
+	Name() string
+	// Compute returns the per-node hook with work busy-iterations of
+	// emulated compute folded in. The returned hook must be safe for
+	// concurrent invocation on distinct nodes.
+	Compute(work int) Compute
+	// Serial computes the reference values with a single-threaded sweep in
+	// topological order, polling ctx for cooperative cancellation.
+	Serial(ctx context.Context, d *dag.DAG, work int) ([]uint64, error)
+	// Verify checks the parallel values against the serial reference and
+	// returns a descriptive error on the first divergence.
+	Verify(d *dag.DAG, serial, parallel []uint64) error
+}
+
+// DefaultWorkload is the registry key assumed when a caller names no
+// workload.
+const DefaultWorkload = "pathcount"
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Workload)
+)
+
+// RegisterWorkload adds w to the registry. It rejects empty names and
+// duplicates, so a name can never be silently rebound underneath a running
+// service.
+func RegisterWorkload(w Workload) error {
+	name := w.Name()
+	if name == "" {
+		return fmt.Errorf("sched: workload has empty name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("sched: workload %q already registered", name)
+	}
+	registry[name] = w
+	return nil
+}
+
+// LookupWorkload resolves a workload name; the empty string resolves to
+// DefaultWorkload. Unknown names report the registered set, so admission
+// errors tell the caller what would have been accepted.
+func LookupWorkload(name string) (Workload, error) {
+	if name == "" {
+		name = DefaultWorkload
+	}
+	registryMu.RLock()
+	w, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown workload %q (registered: %s)",
+			name, strings.Join(Workloads(), ", "))
+	}
+	return w, nil
+}
+
+// Workloads returns the sorted names of all registered workloads.
+func Workloads() []string {
+	registryMu.RLock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	registryMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// nodeFunc is the pure per-node recurrence of a workload: the node's value
+// as a function of its ID and its parents' values (in Parents order).
+type nodeFunc func(id dag.NodeID, parentValues []uint64) uint64
+
+// funcWorkload adapts a nodeFunc into a full Workload: Compute folds in
+// spin()-emulated per-node work, Serial is a cancellable topological sweep,
+// and Verify compares elementwise. All built-in workloads are funcWorkloads;
+// external implementations may satisfy Workload directly.
+type funcWorkload struct {
+	name string
+	fn   nodeFunc
+}
+
+func (w *funcWorkload) Name() string { return w.name }
+
+func (w *funcWorkload) Compute(work int) Compute {
+	fn := w.fn
+	return func(id dag.NodeID, parentValues []uint64) uint64 {
+		spin(work)
+		return fn(id, parentValues)
+	}
+}
+
+func (w *funcWorkload) Serial(ctx context.Context, d *dag.DAG, work int) ([]uint64, error) {
+	return serialSweep(ctx, d, work, w.fn)
+}
+
+func (w *funcWorkload) Verify(d *dag.DAG, serial, parallel []uint64) error {
+	if len(serial) != len(parallel) {
+		return fmt.Errorf("sched: workload %s: serial computed %d values, parallel %d",
+			w.name, len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			return fmt.Errorf("sched: workload %s: node %d: parallel value %#x != serial reference %#x",
+				w.name, i, parallel[i], serial[i])
+		}
+	}
+	return nil
+}
+
+// serialSweep evaluates fn over d in topological order on one goroutine,
+// burning work spin iterations per node. It polls ctx on a spin-iteration
+// budget, not a fixed node stride: with heavy per-node work a 64-node
+// stride would mean seconds between checks, defeating prompt cancellation
+// and shutdown force-cancel.
+func serialSweep(ctx context.Context, d *dag.DAG, work int, fn nodeFunc) ([]uint64, error) {
+	const pollBudget = 1 << 20
+	pollEvery := 64
+	if work > 0 {
+		if pollEvery = pollBudget / work; pollEvery < 1 {
+			pollEvery = 1
+		} else if pollEvery > 64 {
+			pollEvery = 64
+		}
+	}
+	values := make([]uint64, d.NumNodes())
+	buf := make([]uint64, 0, 16)
+	for i, u := range d.TopoOrder() {
+		if i%pollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		spin(work)
+		buf = buf[:0]
+		for _, p := range d.Parents(u) {
+			buf = append(buf, values[p])
+		}
+		values[u] = fn(u, buf)
+	}
+	return values, nil
+}
+
+// Built-in workloads. pathcount is the original source→sink path counter;
+// hashchain stresses ordering correctness with a non-commutative mix; and
+// longestpath computes each node's critical-path depth.
+func init() {
+	for _, w := range []*funcWorkload{
+		{name: "pathcount", fn: pathCountFn},
+		{name: "hashchain", fn: hashChainFn},
+		{name: "longestpath", fn: longestPathFn},
+	} {
+		if err := RegisterWorkload(w); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// pathCountFn counts distinct source→any-node paths: sources get 1, every
+// other node the sum of its parents' counts, in wrapping uint64 arithmetic.
+func pathCountFn(id dag.NodeID, parentValues []uint64) uint64 {
+	if len(parentValues) == 0 {
+		return 1
+	}
+	var sum uint64
+	for _, v := range parentValues {
+		sum += v
+	}
+	return sum
+}
+
+// hashChainFn folds the parents' digests into the node's own seed with a
+// multiply-xor-rotate mix. The mix is deliberately non-commutative and
+// non-associative: reordering parents changes the digest, so a scheduler
+// that ever presented parent values out of Parents order would be caught
+// by the serial-vs-parallel self-check, not just one that dropped a
+// dependency edge (which pathcount already catches).
+func hashChainFn(id dag.NodeID, parentValues []uint64) uint64 {
+	h := (uint64(id) + 1) * 0x9e3779b97f4a7c15 // splitmix-style per-node seed
+	h ^= h >> 29
+	for _, v := range parentValues {
+		h = (h ^ v) * 0x100000001b3
+		h = bits.RotateLeft64(h, 23)
+	}
+	return h
+}
+
+// longestPathFn computes the critical-path depth: sources are 0, every
+// other node max(parents)+1. The sink values of a pipeline DAG equal the
+// graph's Depth(), which doubles as a cheap structural cross-check.
+func longestPathFn(id dag.NodeID, parentValues []uint64) uint64 {
+	var m uint64
+	for _, v := range parentValues {
+		if v > m {
+			m = v
+		}
+	}
+	if len(parentValues) == 0 {
+		return 0
+	}
+	return m + 1
+}

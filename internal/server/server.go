@@ -1,14 +1,16 @@
 // Package server exposes the dagd run service over a JSON HTTP API:
 //
-//	POST /v1/runs             submit a run spec, returns 202 + the queued run
+//	POST /v1/runs             submit a run spec (optional "workload" field), returns 202 + the queued run
 //	GET  /v1/runs             list runs (optional ?state= filter)
 //	GET  /v1/runs/{id}        poll one run's status/result
 //	POST /v1/runs/{id}/cancel request cancellation
+//	GET  /v1/workloads        list registered workloads + the service default
 //	GET  /healthz             liveness + queue stats
 //
 // Errors are JSON objects {"error": "..."} with conventional status codes:
-// 400 for bad specs, 404 for unknown runs, 409 for cancelling a finished
-// run, 429 when the dispatch queue is full, 503 while shutting down.
+// 400 for bad specs (including unknown workload names and unknown ?state=
+// filters), 404 for unknown runs, 409 for cancelling a finished run, 429
+// when the dispatch queue is full, 503 while shutting down.
 package server
 
 import (
@@ -40,6 +42,7 @@ func New(svc *core.Service) *Server {
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
@@ -152,6 +155,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusInternalServerError, err)
 	}
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	names := core.Workloads()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workloads": names,
+		"count":     len(names),
+		"default":   s.svc.DefaultWorkloadName(),
+	})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -125,6 +125,58 @@ func TestEndToEndBothShapes(t *testing.T) {
 	}
 }
 
+// TestEndToEndAllWorkloads submits one run per registered workload over
+// HTTP and requires each to pass its serial-vs-parallel self-check — the
+// acceptance criterion for workload pluggability.
+func TestEndToEndAllWorkloads(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 8, Dispatchers: 2})
+	for _, name := range core.Workloads() {
+		spec := fmt.Sprintf(`{"shape":"random","nodes":300,"p":0.03,"seed":5,"workload":%q}`, name)
+		id := submit(t, ts.URL, spec)
+		body := pollUntil(t, ts.URL, id, "succeeded")
+		result, ok := body["result"].(map[string]any)
+		if !ok {
+			t.Fatalf("workload %s: no result: %v", name, body)
+		}
+		if match, _ := result["match"].(bool); !match {
+			t.Errorf("workload %s: match = false", name)
+		}
+		if got, _ := result["workload"].(string); got != name {
+			t.Errorf("result workload = %q, want %q", got, name)
+		}
+	}
+}
+
+func TestWorkloadsEndpoint(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 4, Dispatchers: 1, DefaultWorkload: "longestpath"})
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/v1/workloads", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/workloads: status %d", code)
+	}
+	if def, _ := body["default"].(string); def != "longestpath" {
+		t.Errorf("default = %v, want longestpath", body["default"])
+	}
+	names, _ := body["workloads"].([]any)
+	if len(names) < 3 {
+		t.Fatalf("workloads = %v, want at least the three built-ins", body["workloads"])
+	}
+	for _, want := range []string{"pathcount", "hashchain", "longestpath"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("workloads list missing %q: %v", want, names)
+		}
+	}
+	if n, _ := body["count"].(float64); int(n) != len(names) {
+		t.Errorf("count = %v, want %d", body["count"], len(names))
+	}
+}
+
 func TestCancelInFlightOverHTTP(t *testing.T) {
 	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 4, Dispatchers: 1})
 	id := submit(t, ts.URL, `{"shape":"pipeline","stages":40000,"width":4,"work":2000}`)
@@ -180,6 +232,7 @@ func TestErrorPaths(t *testing.T) {
 		{"POST", "/v1/runs", `not json`, http.StatusBadRequest},
 		{"POST", "/v1/runs", `{"shape":"random","nodes":1}`, http.StatusBadRequest},
 		{"POST", "/v1/runs", `{"shape":"hexagon"}`, http.StatusBadRequest},
+		{"POST", "/v1/runs", `{"shape":"pipeline","stages":5,"width":2,"workload":"bogus"}`, http.StatusBadRequest},
 		{"POST", "/v1/runs", `{"shape":"pipeline","stages":5,"width":2,"bogus_knob":1}`, http.StatusBadRequest},
 		{"DELETE", "/v1/runs", "", http.StatusMethodNotAllowed},
 	}
