@@ -8,6 +8,7 @@
 //
 //	dagbench -nodes 1000 -p 0.01 -workers 8
 //	dagbench -type pipeline -stages 200 -width 4 -work 1000
+//	dagbench -type explicit -nodes 4 -edges '[[0,1],[0,2],[1,3],[2,3]]'
 //	dagbench -workload hashchain -nodes 2000 -p 0.01
 //	dagbench -list-workloads
 package main
@@ -39,12 +40,13 @@ type report struct {
 
 func main() {
 	var (
-		shapeFlag = flag.String("type", "random", "dag shape: random or pipeline")
-		nodes     = flag.Int("nodes", 1000, "node count (random shape)")
+		shapeFlag = flag.String("type", "random", "dag shape: random, pipeline, or explicit")
+		nodes     = flag.Int("nodes", 1000, "node count (random/explicit shapes)")
 		p         = flag.Float64("p", 0.01, "forward-edge probability (random shape)")
 		stages    = flag.Int("stages", 100, "pipeline depth (pipeline shape)")
 		width     = flag.Int("width", 4, "pipeline width (pipeline shape)")
 		seed      = flag.Int64("seed", 1, "generator seed")
+		edges     = flag.String("edges", "", `explicit edge list as JSON, e.g. [[0,1],[1,2]] (explicit shape)`)
 		work      = flag.Int("work", 0, "busy-work iterations per node (Nabbit W)")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
 		workload  = flag.String("workload", "", "registered workload name (empty = "+core.DefaultWorkload+")")
@@ -60,19 +62,32 @@ func main() {
 		return
 	}
 
-	if err := run(*shapeFlag, *workload, *nodes, *p, *stages, *width, *seed, *work, *workers, *timeout); err != nil {
+	if err := run(*shapeFlag, *workload, *edges, *nodes, *p, *stages, *width, *seed, *work, *workers, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "dagbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(shapeFlag, workload string, nodes int, p float64, stages, width int, seed int64, work, workers int, timeout time.Duration) error {
+func run(shapeFlag, workload, edgesJSON string, nodes int, p float64, stages, width int, seed int64, work, workers int, timeout time.Duration) error {
 	shape, err := core.ParseShape(shapeFlag)
 	if err != nil {
 		return err
 	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
+	}
+	var edges []core.Edge
+	if edgesJSON != "" {
+		if shape != core.ExplicitShape {
+			return fmt.Errorf("-edges is only valid with -type explicit")
+		}
+		if err := json.Unmarshal([]byte(edgesJSON), &edges); err != nil {
+			return fmt.Errorf("parsing -edges: %w", err)
+		}
+	} else if shape == core.ExplicitShape {
+		// Require the flag so a forgotten -edges can't silently benchmark
+		// an edgeless graph; an explicitly empty list ('[]') is still legal.
+		return fmt.Errorf("-type explicit requires -edges (pass '[]' for an edgeless graph)")
 	}
 	spec := core.RunSpec{
 		Config: core.GenConfig{
@@ -82,6 +97,7 @@ func run(shapeFlag, workload string, nodes int, p float64, stages, width int, se
 			Stages:   stages,
 			Width:    width,
 			Seed:     seed,
+			Edges:    edges,
 		},
 		Workload: workload,
 		Work:     work,
@@ -108,6 +124,8 @@ func run(shapeFlag, workload string, nodes int, p float64, stages, width int, se
 	case core.PipelineShape:
 		rep.Stages = stages
 		rep.Width = width
+	case core.ExplicitShape:
+		rep.Seed = 0 // explicit graphs involve no randomness
 	}
 
 	enc := json.NewEncoder(os.Stdout)

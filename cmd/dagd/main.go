@@ -10,15 +10,20 @@
 //	dagd -addr :8080 -queue 256 -dispatchers 4
 //	dagd -workload hashchain
 //
-// Submit and poll with curl:
+// Submit and poll with curl (or use the typed client in pkg/client):
 //
 //	curl -s localhost:8080/v1/workloads
-//	curl -s -X POST localhost:8080/v1/runs -d '{"shape":"pipeline","stages":100,"width":4}'
-//	curl -s -X POST localhost:8080/v1/runs -d '{"shape":"random","nodes":2000,"p":0.01,"workload":"longestpath"}'
-//	curl -s localhost:8080/v1/runs/<id>
+//	curl -s -X POST localhost:8080/v1/runs -H 'Content-Type: application/json' \
+//	    -d '{"shape":"pipeline","stages":100,"width":4}'
+//	curl -s -X POST localhost:8080/v1/runs -H 'Content-Type: application/json' \
+//	    -d '{"shape":"explicit","nodes":4,"edges":[[0,1],[0,2],[1,3],[2,3]]}'
+//	curl -s 'localhost:8080/v1/runs/<id>?wait=5s'
+//	curl -s 'localhost:8080/v1/runs?limit=10'
 //
-// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight runs
-// for up to -drain-timeout before force-cancelling them.
+// Errors are structured: {"error":{"code":"invalid_spec",...}} — see
+// pkg/api for the full code table. SIGINT/SIGTERM trigger a graceful
+// shutdown that flips /readyz to 503 and drains in-flight runs for up to
+// -drain-timeout before force-cancelling them.
 package main
 
 import (

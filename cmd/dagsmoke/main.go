@@ -1,0 +1,126 @@
+// Command dagsmoke is the CI smoke test for a running dagd: it exercises
+// the v1 API end to end through the typed client (pkg/client) — submit an
+// explicit and a generated run per registered workload, long-poll each to
+// succeeded, check the serial self-check matched, verify admission
+// rejections decode to the right sentinel errors, and walk pagination.
+// It exits 0 only if every check passes.
+//
+// Usage:
+//
+//	dagsmoke -base http://127.0.0.1:18080 -timeout 2m
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"flag"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/pkg/api"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/pkg/client"
+)
+
+// diamond is the explicit test graph: 0→{1,2}→3 plus a skip edge 0→3.
+// Three source→sink paths, depth 2.
+var diamond = []api.Edge{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {0, 3}}
+
+func main() {
+	var (
+		base    = flag.String("base", "http://127.0.0.1:8080", "dagd base URL")
+		timeout = flag.Duration("timeout", 2*time.Minute, "overall smoke-test budget")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := smoke(ctx, client.New(*base, client.WithWaitSlice(2*time.Second))); err != nil {
+		fmt.Fprintln(os.Stderr, "dagsmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("dagsmoke: all checks passed")
+}
+
+func smoke(ctx context.Context, c *client.Client) error {
+	wl, err := c.Workloads(ctx)
+	if err != nil {
+		return fmt.Errorf("listing workloads: %w", err)
+	}
+	if len(wl.Workloads) < 3 {
+		return fmt.Errorf("expected at least the 3 built-in workloads, got %v", wl.Workloads)
+	}
+	fmt.Printf("dagsmoke: workloads %v (default %s)\n", wl.Workloads, wl.Default)
+
+	// One explicit and one generated run per registered workload; every
+	// serial-vs-parallel self-check must match.
+	var submitted int
+	for _, name := range wl.Workloads {
+		for _, submit := range []func() (*api.Run, error){
+			func() (*api.Run, error) {
+				return c.SubmitExplicit(ctx, 4, diamond, client.SubmitOptions{Workload: name, Work: 10})
+			},
+			func() (*api.Run, error) {
+				return c.Submit(ctx, api.RunSpec{
+					Shape: api.ShapePipeline, Stages: 50, Width: 4, Work: 50, Workload: name,
+				})
+			},
+		} {
+			r, err := submit()
+			if err != nil {
+				return fmt.Errorf("workload %s: submit: %w", name, err)
+			}
+			submitted++
+			id := r.ID
+			r, err = c.Wait(ctx, id)
+			if err != nil {
+				return fmt.Errorf("workload %s: waiting on %s: %w", name, id, err)
+			}
+			if r.State != api.StateSucceeded {
+				return fmt.Errorf("workload %s: run %s ended %s (error %q)", name, r.ID, r.State, r.Error)
+			}
+			if r.Result == nil || !r.Result.Match {
+				return fmt.Errorf("workload %s: run %s has no matching self-check: %+v", name, r.ID, r.Result)
+			}
+			fmt.Printf("dagsmoke: %s %s run %s succeeded (nodes=%d edges=%d match=%v)\n",
+				name, r.Spec.Shape, r.ID, r.Result.Nodes, r.Result.Edges, r.Result.Match)
+		}
+	}
+
+	// Admission rejections must decode to sentinel errors.
+	if _, err := c.SubmitExplicit(ctx, 3, []api.Edge{{0, 1}, {1, 2}, {2, 0}}, client.SubmitOptions{}); !errors.Is(err, api.ErrInvalidSpec) {
+		return fmt.Errorf("cyclic explicit spec: got %v, want api.ErrInvalidSpec", err)
+	}
+	if _, err := c.Submit(ctx, api.RunSpec{Shape: api.ShapePipeline, Stages: 2, Width: 2, Workload: "bogus"}); !errors.Is(err, api.ErrUnknownWorkload) {
+		return fmt.Errorf("bogus workload: got %v, want api.ErrUnknownWorkload", err)
+	}
+	if _, err := c.Get(ctx, "r999999-deadbeef"); !errors.Is(err, api.ErrNotFound) {
+		return fmt.Errorf("missing run: got %v, want api.ErrNotFound", err)
+	}
+	fmt.Println("dagsmoke: admission rejections map to sentinels")
+
+	// Pagination must walk every submitted run exactly once.
+	seen := map[string]bool{}
+	for cursor := ""; ; {
+		page, err := c.List(ctx, client.ListOptions{Limit: 3, Cursor: cursor})
+		if err != nil {
+			return fmt.Errorf("listing runs: %w", err)
+		}
+		for _, r := range page.Runs {
+			if seen[r.ID] {
+				return fmt.Errorf("pagination returned run %s twice", r.ID)
+			}
+			seen[r.ID] = true
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(seen) < submitted {
+		return fmt.Errorf("pagination walked %d runs, submitted %d", len(seen), submitted)
+	}
+	fmt.Printf("dagsmoke: pagination walked %d runs\n", len(seen))
+	return nil
+}

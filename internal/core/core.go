@@ -29,11 +29,13 @@ func NewBuilder(n int) *Builder { return dag.NewBuilder(n) }
 type (
 	GenConfig = gen.Config
 	Shape     = gen.Shape
+	Edge      = gen.Edge
 )
 
 const (
 	RandomShape   = gen.Random
 	PipelineShape = gen.Pipeline
+	ExplicitShape = gen.Explicit
 )
 
 // ParseShape converts a CLI string ("random" or "pipeline") to a Shape.
@@ -48,6 +50,10 @@ func RandomDAG(n int, p float64, seed int64) (*DAG, error) { return gen.RandomDA
 
 // PipelineDAG generates a stages×width pipeline DAG.
 func PipelineDAG(stages, width int) (*DAG, error) { return gen.PipelineDAG(stages, width) }
+
+// ExplicitDAG builds a DAG from a literal node count and edge list,
+// rejecting self-loops, duplicate/out-of-range edges, and cycles.
+func ExplicitDAG(n int, edges []Edge) (*DAG, error) { return gen.ExplicitDAG(n, edges) }
 
 // Scheduler re-exports.
 type (

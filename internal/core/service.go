@@ -27,11 +27,13 @@ const (
 
 // Run-service errors.
 var (
-	ErrRunNotFound  = run.ErrNotFound
-	ErrRunTerminal  = run.ErrTerminal
-	ErrRunMismatch  = run.ErrMismatch
-	ErrQueueFull    = dispatch.ErrQueueFull
-	ErrShuttingDown = dispatch.ErrShuttingDown
+	ErrRunNotFound     = run.ErrNotFound
+	ErrRunTerminal     = run.ErrTerminal
+	ErrRunMismatch     = run.ErrMismatch
+	ErrInvalidSpec     = run.ErrInvalidSpec
+	ErrUnknownWorkload = run.ErrUnknownWorkload
+	ErrQueueFull       = dispatch.ErrQueueFull
+	ErrShuttingDown    = dispatch.ErrShuttingDown
 )
 
 // ParseRunState converts a state name ("queued", "running", ...) to a RunState.
@@ -105,6 +107,17 @@ func (s *Service) Submit(spec RunSpec) (RunInfo, error) { return s.disp.Submit(s
 
 // Get returns a snapshot of one run.
 func (s *Service) Get(id string) (RunInfo, error) { return s.store.Get(id) }
+
+// Await blocks until the run reaches a terminal state or ctx is done and
+// returns the latest snapshot either way; it fails only on unknown IDs.
+// This backs the HTTP API's ?wait= long-poll.
+func (s *Service) Await(ctx context.Context, id string) (RunInfo, error) {
+	return s.store.Await(ctx, id)
+}
+
+// Draining reports whether Shutdown has begun (readiness signal; new
+// submissions are already being refused with ErrShuttingDown).
+func (s *Service) Draining() bool { return s.disp.Draining() }
 
 // List returns snapshots of all runs, oldest first.
 func (s *Service) List() []RunInfo { return s.store.List() }

@@ -53,6 +53,12 @@ func (b *Builder) AddEdge(u, v NodeID) error {
 	return nil
 }
 
+// NumEdges returns how many distinct edges have been added so far. Because
+// AddEdge silently ignores duplicates, callers that must *reject* duplicate
+// edges (e.g. explicit client-supplied edge lists) can compare NumEdges
+// before and after an AddEdge call.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
 // Build freezes the accumulated graph into an immutable DAG. It runs Kahn's
 // algorithm to compute a topological order and returns an error wrapping
 // ErrCycle if any cycle exists.

@@ -117,6 +117,15 @@ func (d *Dispatcher) QueueLen() int {
 // Dispatchers returns the pool size.
 func (d *Dispatcher) Dispatchers() int { return d.opts.Dispatchers }
 
+// Draining reports whether Shutdown has begun, i.e. whether new
+// submissions would be refused with ErrShuttingDown. Readiness probes use
+// this to flip unready while liveness stays green.
+func (d *Dispatcher) Draining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.closed
+}
+
 // Submit validates spec, registers a queued run, and enqueues it. It never
 // blocks: a full queue fails fast with ErrQueueFull and no run is left
 // behind in the store.

@@ -262,10 +262,16 @@ func TestShutdownDrains(t *testing.T) {
 		}
 		ids = append(ids, r.ID)
 	}
+	if d.Draining() {
+		t.Error("Draining() true before Shutdown")
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := d.Shutdown(ctx); err != nil {
 		t.Fatalf("Shutdown = %v", err)
+	}
+	if !d.Draining() {
+		t.Error("Draining() false after Shutdown")
 	}
 	for _, id := range ids {
 		r, err := store.Get(id)

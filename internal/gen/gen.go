@@ -1,6 +1,6 @@
-// Package gen provides deterministic, seeded DAG generators for benchmark
-// workloads. Two shapes are supported, mirroring the Nabbit random-DAG
-// microbenchmark knobs <R, NodeWork, dag_type>:
+// Package gen provides deterministic DAG construction for benchmark and
+// service workloads. Three shapes are supported; the first two mirror the
+// Nabbit random-DAG microbenchmark knobs <R, NodeWork, dag_type>:
 //
 //   - Random: nodes 0..N-1 with each forward edge (i, j), i < j, present
 //     independently with probability p. Node 0 is forced to be the unique
@@ -10,12 +10,17 @@
 //     |i-j| <= 1, bracketed by a dedicated source and sink. This produces a
 //     deep, narrow task graph with large span — the shape that stresses
 //     scheduler depth.
+//   - Explicit: a client-supplied node count and edge list, built verbatim
+//     through dag.Builder. Unlike the generated shapes nothing is invented:
+//     self-loops, duplicate edges, out-of-range endpoints, and cycles are
+//     all rejected.
 //
 // All randomness flows from Config.Seed, so a given Config always produces
-// an identical DAG.
+// an identical DAG (Explicit involves no randomness at all).
 package gen
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 
@@ -30,6 +35,8 @@ const (
 	Random Shape = iota
 	// Pipeline is a stages×width grid DAG with nearest-neighbor edges.
 	Pipeline
+	// Explicit is a client-supplied node count plus edge list.
+	Explicit
 )
 
 // String implements fmt.Stringer.
@@ -39,28 +46,34 @@ func (s Shape) String() string {
 		return "random"
 	case Pipeline:
 		return "pipeline"
+	case Explicit:
+		return "explicit"
 	default:
 		return fmt.Sprintf("Shape(%d)", int(s))
 	}
 }
 
-// ParseShape converts a CLI string ("random" or "pipeline") to a Shape.
+// ParseShape converts a wire string ("random", "pipeline", "explicit") to a
+// Shape.
 func ParseShape(s string) (Shape, error) {
 	switch s {
 	case "random":
 		return Random, nil
 	case "pipeline":
 		return Pipeline, nil
+	case "explicit":
+		return Explicit, nil
 	default:
-		return 0, fmt.Errorf("gen: unknown dag shape %q (want random or pipeline)", s)
+		return 0, fmt.Errorf("gen: unknown dag shape %q (want random, pipeline, or explicit)", s)
 	}
 }
 
 // MarshalText implements encoding.TextMarshaler, so a Shape serializes as
-// its name ("random", "pipeline") in JSON and other text encodings.
+// its name ("random", "pipeline", "explicit") in JSON and other text
+// encodings.
 func (s Shape) MarshalText() ([]byte, error) {
 	switch s {
-	case Random, Pipeline:
+	case Random, Pipeline, Explicit:
 		return []byte(s.String()), nil
 	default:
 		return nil, fmt.Errorf("gen: cannot marshal unknown dag shape %d", int(s))
@@ -77,16 +90,37 @@ func (s *Shape) UnmarshalText(text []byte) error {
 	return nil
 }
 
+// Edge is one directed edge of an Explicit spec, serialized on the wire as
+// a two-element JSON array [from, to].
+type Edge [2]int
+
+// UnmarshalJSON enforces that an edge is exactly a [from, to] pair. The
+// default array decoding would silently zero-fill a one-element list
+// (creating a phantom [x, 0] edge) and silently drop extra elements, both
+// of which must be admission errors for client-supplied graphs.
+func (e *Edge) UnmarshalJSON(b []byte) error {
+	var pair []int
+	if err := json.Unmarshal(b, &pair); err != nil {
+		return fmt.Errorf("gen: edge must be a [from,to] array: %w", err)
+	}
+	if len(pair) != 2 {
+		return fmt.Errorf("gen: edge must have exactly 2 endpoints, got %d", len(pair))
+	}
+	e[0], e[1] = pair[0], pair[1]
+	return nil
+}
+
 // Config parameterizes a generator run. The JSON form is the wire format
 // used by the dagd run-submission API, so equal JSON documents always
 // describe equal DAGs.
 type Config struct {
 	Shape    Shape   `json:"shape"`
-	Nodes    int     `json:"nodes,omitempty"`  // total node count (Random); ignored by Pipeline
+	Nodes    int     `json:"nodes,omitempty"`  // total node count (Random, Explicit); ignored by Pipeline
 	EdgeProb float64 `json:"p,omitempty"`      // forward-edge probability p (Random only)
 	Stages   int     `json:"stages,omitempty"` // pipeline depth (Pipeline only)
 	Width    int     `json:"width,omitempty"`  // pipeline width (Pipeline only)
 	Seed     int64   `json:"seed,omitempty"`   // PRNG seed; equal seeds give equal DAGs
+	Edges    []Edge  `json:"edges,omitempty"`  // explicit edge list (Explicit only)
 }
 
 // Generate builds the DAG described by cfg.
@@ -96,9 +130,33 @@ func Generate(cfg Config) (*dag.DAG, error) {
 		return RandomDAG(cfg.Nodes, cfg.EdgeProb, cfg.Seed)
 	case Pipeline:
 		return PipelineDAG(cfg.Stages, cfg.Width)
+	case Explicit:
+		return ExplicitDAG(cfg.Nodes, cfg.Edges)
 	default:
 		return nil, fmt.Errorf("gen: unknown dag shape %v", cfg.Shape)
 	}
+}
+
+// ExplicitDAG builds the graph a client described literally: n nodes
+// identified 0..n-1 and exactly the given edges. The Builder rejects
+// out-of-range endpoints and self-loops edge by edge, duplicate edges are
+// rejected here (the Builder would silently ignore them, which is the wrong
+// posture for untrusted input), and Build's Kahn pass rejects cycles.
+func ExplicitDAG(n int, edges []Edge) (*dag.DAG, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: explicit dag needs >= 1 node, got %d", n)
+	}
+	b := dag.NewBuilder(n)
+	for _, e := range edges {
+		before := b.NumEdges()
+		if err := b.AddEdge(dag.NodeID(e[0]), dag.NodeID(e[1])); err != nil {
+			return nil, err
+		}
+		if b.NumEdges() == before {
+			return nil, fmt.Errorf("gen: duplicate edge (%d,%d)", e[0], e[1])
+		}
+	}
+	return b.Build()
 }
 
 // RandomDAG generates a random DAG with n nodes. Every forward pair (i, j)

@@ -2,6 +2,9 @@ package gen
 
 import (
 	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
@@ -19,15 +22,22 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(blob, &decoded); err != nil {
 		t.Fatal(err)
 	}
-	if decoded != cfg {
+	if !reflect.DeepEqual(decoded, cfg) {
 		t.Fatalf("round trip %+v, want %+v", decoded, cfg)
 	}
 	var fromWire Config
 	if err := json.Unmarshal([]byte(`{"shape":"random","nodes":64,"p":0.1,"seed":9}`), &fromWire); err != nil {
 		t.Fatal(err)
 	}
-	if want := (Config{Shape: Random, Nodes: 64, EdgeProb: 0.1, Seed: 9}); fromWire != want {
+	if want := (Config{Shape: Random, Nodes: 64, EdgeProb: 0.1, Seed: 9}); !reflect.DeepEqual(fromWire, want) {
 		t.Fatalf("wire decode %+v, want %+v", fromWire, want)
+	}
+	var explicitWire Config
+	if err := json.Unmarshal([]byte(`{"shape":"explicit","nodes":3,"edges":[[0,1],[1,2]]}`), &explicitWire); err != nil {
+		t.Fatal(err)
+	}
+	if want := (Config{Shape: Explicit, Nodes: 3, Edges: []Edge{{0, 1}, {1, 2}}}); !reflect.DeepEqual(explicitWire, want) {
+		t.Fatalf("explicit wire decode %+v, want %+v", explicitWire, want)
 	}
 	if err := json.Unmarshal([]byte(`{"shape":"hexagon"}`), &fromWire); err == nil {
 		t.Fatal("unknown shape decoded without error")
@@ -172,7 +182,7 @@ func TestGenerateDispatch(t *testing.T) {
 }
 
 func TestParseShape(t *testing.T) {
-	for s, want := range map[string]Shape{"random": Random, "pipeline": Pipeline} {
+	for s, want := range map[string]Shape{"random": Random, "pipeline": Pipeline, "explicit": Explicit} {
 		got, err := ParseShape(s)
 		if err != nil || got != want {
 			t.Errorf("ParseShape(%q) = %v, %v; want %v, nil", s, got, err, want)
@@ -180,5 +190,73 @@ func TestParseShape(t *testing.T) {
 	}
 	if _, err := ParseShape("ring"); err == nil {
 		t.Error(`ParseShape("ring") succeeded, want error`)
+	}
+}
+
+// TestEdgeUnmarshalArity pins the strict [from,to] decoding: the default
+// array decoding would zero-fill short lists and drop long ones, silently
+// changing the client's graph.
+func TestEdgeUnmarshalArity(t *testing.T) {
+	var e Edge
+	if err := json.Unmarshal([]byte(`[3,7]`), &e); err != nil || e != (Edge{3, 7}) {
+		t.Fatalf("Unmarshal([3,7]) = %v, %v", e, err)
+	}
+	for _, bad := range []string{`[1]`, `[1,2,3]`, `[]`, `"ab"`, `{"from":1}`, `[1,"x"]`} {
+		if err := json.Unmarshal([]byte(bad), &e); err == nil {
+			t.Errorf("Unmarshal(%s) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestExplicitDAG(t *testing.T) {
+	// Diamond with a skip edge: 3 source→sink paths, depth 2.
+	d, err := ExplicitDAG(4, []Edge{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() != 4 || d.NumEdges() != 5 {
+		t.Fatalf("NumNodes/NumEdges = %d/%d, want 4/5", d.NumNodes(), d.NumEdges())
+	}
+	if d.Depth() != 2 {
+		t.Errorf("Depth = %d, want 2", d.Depth())
+	}
+	// A single isolated node is a legal explicit DAG.
+	if d, err := ExplicitDAG(1, nil); err != nil || d.NumNodes() != 1 {
+		t.Errorf("ExplicitDAG(1, nil) = %v, %v; want 1-node dag", d, err)
+	}
+	// Disconnected components are allowed — nothing is invented.
+	if d, err := ExplicitDAG(4, []Edge{{0, 1}}); err != nil || len(d.Sources()) != 3 {
+		t.Errorf("disconnected explicit dag = %v (err %v), want 3 sources", d, err)
+	}
+}
+
+func TestExplicitDAGRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes int
+		edges []Edge
+		want  string // substring of the error
+	}{
+		{"zero nodes", 0, nil, "needs >= 1 node"},
+		{"self edge", 3, []Edge{{1, 1}}, "self-loop"},
+		{"duplicate edge", 3, []Edge{{0, 1}, {0, 1}}, "duplicate edge"},
+		{"out of range", 3, []Edge{{0, 5}}, "out of range"},
+		{"negative endpoint", 3, []Edge{{-1, 2}}, "out of range"},
+		{"cycle", 3, []Edge{{0, 1}, {1, 2}, {2, 0}}, "cycle"},
+	}
+	for _, tc := range cases {
+		_, err := ExplicitDAG(tc.nodes, tc.edges)
+		if err == nil {
+			t.Errorf("%s: ExplicitDAG succeeded, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+	// The cycle rejection must be the shared dag.ErrCycle from the Kahn
+	// check, not a bespoke error.
+	if _, err := ExplicitDAG(3, []Edge{{0, 1}, {1, 2}, {2, 0}}); !errors.Is(err, dag.ErrCycle) {
+		t.Errorf("cycle error = %v, want errors.Is(_, dag.ErrCycle)", err)
 	}
 }

@@ -96,47 +96,86 @@ type Spec struct {
 // Spec validation bounds. The service executes untrusted specs, so sizes
 // are capped to keep a single request from exhausting memory.
 const (
-	MaxNodes   = 1 << 20 // total node cap for either shape
-	MaxEdges   = 1 << 22 // expected-edge cap; adjacency is stored both ways
+	MaxNodes   = 1 << 20 // total node cap for any shape
+	MaxEdges   = 1 << 22 // edge cap (expected for random, literal for explicit)
 	MaxWork    = 1 << 26 // per-node busy-work cap
 	MaxWorkers = 1024
 )
 
+// Admission sentinels. Every Validate failure wraps exactly one of these,
+// so the API layer can map errors to machine-readable codes in one place
+// instead of pattern-matching messages.
+var (
+	// ErrInvalidSpec marks structurally invalid specs: bad shapes, bounds
+	// violations, and malformed explicit graphs (self-loops, duplicate or
+	// out-of-range edges, cycles).
+	ErrInvalidSpec = errors.New("run: invalid spec")
+	// ErrUnknownWorkload marks specs naming a workload absent from the
+	// registry.
+	ErrUnknownWorkload = errors.New("run: unknown workload")
+)
+
 // Validate checks spec against shape-specific and service-wide bounds.
+// Failures wrap ErrInvalidSpec or ErrUnknownWorkload. Unknown workload
+// names fail admission here (HTTP 400), never inside a dispatcher; the
+// empty workload means the registry default.
 func (s Spec) Validate() error {
+	if err := s.validateShape(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	if s.Work < 0 || s.Work > MaxWork {
+		return fmt.Errorf("%w: work %d outside [0,%d]", ErrInvalidSpec, s.Work, MaxWork)
+	}
+	if s.Workers < 0 || s.Workers > MaxWorkers {
+		return fmt.Errorf("%w: workers %d outside [0,%d]", ErrInvalidSpec, s.Workers, MaxWorkers)
+	}
+	if _, err := sched.LookupWorkload(s.Workload); err != nil {
+		return fmt.Errorf("%w: %v", ErrUnknownWorkload, err)
+	}
+	return nil
+}
+
+func (s Spec) validateShape() error {
+	if s.Shape != gen.Explicit && len(s.Edges) > 0 {
+		return fmt.Errorf("edges list is only valid for the explicit shape, not %v", s.Shape)
+	}
 	switch s.Shape {
 	case gen.Random:
 		if s.Nodes < 2 || s.Nodes > MaxNodes {
-			return fmt.Errorf("run: random spec needs 2 <= nodes <= %d, got %d", MaxNodes, s.Nodes)
+			return fmt.Errorf("random spec needs 2 <= nodes <= %d, got %d", MaxNodes, s.Nodes)
 		}
 		if s.EdgeProb < 0 || s.EdgeProb > 1 {
-			return fmt.Errorf("run: edge probability %v outside [0,1]", s.EdgeProb)
+			return fmt.Errorf("edge probability %v outside [0,1]", s.EdgeProb)
 		}
 		// The node cap alone doesn't bound memory: a dense random graph
 		// has ~p·n(n-1)/2 edges, quadratic in n.
 		if expected := s.EdgeProb * float64(s.Nodes) * float64(s.Nodes-1) / 2; expected > MaxEdges {
-			return fmt.Errorf("run: random spec expects ~%.0f edges (p·n(n-1)/2), cap is %d — lower nodes or p", expected, MaxEdges)
+			return fmt.Errorf("random spec expects ~%.0f edges (p·n(n-1)/2), cap is %d — lower nodes or p", expected, MaxEdges)
 		}
 	case gen.Pipeline:
 		if s.Stages < 1 || s.Width < 1 {
-			return fmt.Errorf("run: pipeline spec needs stages >= 1 and width >= 1, got %dx%d", s.Stages, s.Width)
+			return fmt.Errorf("pipeline spec needs stages >= 1 and width >= 1, got %dx%d", s.Stages, s.Width)
 		}
 		if n := s.Stages*s.Width + 2; n > MaxNodes {
-			return fmt.Errorf("run: pipeline %dx%d has %d nodes, cap is %d", s.Stages, s.Width, n, MaxNodes)
+			return fmt.Errorf("pipeline %dx%d has %d nodes, cap is %d", s.Stages, s.Width, n, MaxNodes)
+		}
+	case gen.Explicit:
+		if s.Nodes < 1 || s.Nodes > MaxNodes {
+			return fmt.Errorf("explicit spec needs 1 <= nodes <= %d, got %d", MaxNodes, s.Nodes)
+		}
+		if len(s.Edges) > MaxEdges {
+			return fmt.Errorf("explicit spec has %d edges, cap is %d", len(s.Edges), MaxEdges)
+		}
+		// Build the graph once at admission so self-loops, duplicate and
+		// out-of-range edges, and cycles (the Builder's Kahn pass) are all
+		// rejected before the spec can ever reach a dispatcher. The build
+		// is O(nodes+edges), the same cost the dispatcher pays again at
+		// execution — acceptable for the hard bounds above.
+		if _, err := gen.ExplicitDAG(s.Nodes, s.Edges); err != nil {
+			return err
 		}
 	default:
-		return fmt.Errorf("run: unknown dag shape %v", s.Shape)
-	}
-	if s.Work < 0 || s.Work > MaxWork {
-		return fmt.Errorf("run: work %d outside [0,%d]", s.Work, MaxWork)
-	}
-	if s.Workers < 0 || s.Workers > MaxWorkers {
-		return fmt.Errorf("run: workers %d outside [0,%d]", s.Workers, MaxWorkers)
-	}
-	// Unknown workload names fail admission here (HTTP 400), never inside a
-	// dispatcher; the empty string means the registry default.
-	if _, err := sched.LookupWorkload(s.Workload); err != nil {
-		return err
+		return fmt.Errorf("unknown dag shape %v", s.Shape)
 	}
 	return nil
 }
@@ -159,14 +198,18 @@ type Result struct {
 // Run is a snapshot of one run's state. Store methods return copies, so a
 // Run a caller holds never changes underneath it.
 type Run struct {
-	ID         string     `json:"id"`
-	Spec       Spec       `json:"spec"`
-	State      State      `json:"state"`
-	Error      string     `json:"error,omitempty"`
-	Result     *Result    `json:"result,omitempty"`
-	CreatedAt  time.Time  `json:"created_at"`
-	StartedAt  *time.Time `json:"started_at,omitempty"`
-	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	ID    string `json:"id"`
+	Spec  Spec   `json:"spec"`
+	State State  `json:"state"`
+	// SpecRedacted is set when the terminal snapshot dropped the spec's
+	// explicit edge list to bound retained memory; the spec no longer
+	// describes the executed graph and must not be resubmitted as-is.
+	SpecRedacted bool       `json:"spec_redacted,omitempty"`
+	Error        string     `json:"error,omitempty"`
+	Result       *Result    `json:"result,omitempty"`
+	CreatedAt    time.Time  `json:"created_at"`
+	StartedAt    *time.Time `json:"started_at,omitempty"`
+	FinishedAt   *time.Time `json:"finished_at,omitempty"`
 }
 
 // Store errors.

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"reflect"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
@@ -46,6 +49,75 @@ func TestSpecValidate(t *testing.T) {
 	}
 }
 
+// TestValidateSentinels pins that every admission failure wraps exactly
+// one of the two sentinels the API layer maps to error codes.
+func TestValidateSentinels(t *testing.T) {
+	explicit := func(nodes int, edges []gen.Edge) Spec {
+		return Spec{Config: gen.Config{Shape: gen.Explicit, Nodes: nodes, Edges: edges}}
+	}
+	invalid := []struct {
+		name string
+		spec Spec
+	}{
+		{"random too small", Spec{Config: gen.Config{Shape: gen.Random, Nodes: 1}}},
+		{"bad shape", Spec{Config: gen.Config{Shape: gen.Shape(42)}}},
+		{"negative work", func() Spec { s := pipelineSpec(); s.Work = -1; return s }()},
+		{"explicit ok graph on random shape", Spec{Config: gen.Config{Shape: gen.Random, Nodes: 10, EdgeProb: 0.1, Edges: []gen.Edge{{0, 1}}}}},
+		{"explicit zero nodes", explicit(0, nil)},
+		{"explicit cycle", explicit(3, []gen.Edge{{0, 1}, {1, 2}, {2, 0}})},
+		{"explicit self edge", explicit(3, []gen.Edge{{1, 1}})},
+		{"explicit duplicate edge", explicit(3, []gen.Edge{{0, 1}, {0, 1}})},
+		{"explicit out of range", explicit(3, []gen.Edge{{0, 7}})},
+	}
+	for _, tc := range invalid {
+		err := tc.spec.Validate()
+		if !errors.Is(err, ErrInvalidSpec) {
+			t.Errorf("%s: Validate() = %v, want ErrInvalidSpec", tc.name, err)
+		}
+		if errors.Is(err, ErrUnknownWorkload) {
+			t.Errorf("%s: Validate() also wraps ErrUnknownWorkload", tc.name)
+		}
+	}
+
+	bad := pipelineSpec()
+	bad.Workload = "no-such-workload"
+	if err := bad.Validate(); !errors.Is(err, ErrUnknownWorkload) || errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("unknown workload Validate() = %v, want ErrUnknownWorkload only", err)
+	}
+
+	// A valid explicit spec admits and executes end to end.
+	ok := explicit(4, []gen.Edge{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid explicit spec rejected: %v", err)
+	}
+	res, err := Execute(context.Background(), ok, 2)
+	if err != nil {
+		t.Fatalf("Execute(explicit): %v", err)
+	}
+	if !res.Match || res.Nodes != 4 || res.Edges != 4 {
+		t.Errorf("explicit Execute result = %+v, want match with 4 nodes / 4 edges", res)
+	}
+	// Diamond source→sink path count is 2 under the default pathcount.
+	if res.SinkPaths != 2 {
+		t.Errorf("diamond sink paths = %d, want 2", res.SinkPaths)
+	}
+}
+
+// TestValidateExplicitEdgeCap pins the MaxEdges bound without building a
+// MaxEdges-sized graph: the length check must fire before edge content is
+// examined.
+func TestValidateExplicitEdgeCap(t *testing.T) {
+	edges := make([]gen.Edge, MaxEdges+1) // all zero-valued, i.e. junk self-loops
+	spec := Spec{Config: gen.Config{Shape: gen.Explicit, Nodes: 2, Edges: edges}}
+	err := spec.Validate()
+	if !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("Validate(%d edges) = %v, want ErrInvalidSpec", len(edges), err)
+	}
+	if want := fmt.Sprintf("cap is %d", MaxEdges); !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}
+
 func TestSpecJSONRoundTrip(t *testing.T) {
 	spec := Spec{
 		Config:   gen.Config{Shape: gen.Random, Nodes: 500, EdgeProb: 0.02, Seed: 7},
@@ -59,7 +131,7 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal([]byte(blob), &decoded); err != nil {
 		t.Fatal(err)
 	}
-	if decoded != spec {
+	if !reflect.DeepEqual(decoded, spec) {
 		t.Errorf("decoded %+v, want %+v", decoded, spec)
 	}
 	out, err := json.Marshal(spec)
@@ -70,7 +142,7 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(out, &roundTripped); err != nil {
 		t.Fatal(err)
 	}
-	if roundTripped != spec {
+	if !reflect.DeepEqual(roundTripped, spec) {
 		t.Errorf("round trip %+v, want %+v", roundTripped, spec)
 	}
 }
@@ -218,6 +290,144 @@ func TestGetAndListAndDelete(t *testing.T) {
 	counts := s.CountByState()
 	if counts[StateQueued] != 9 {
 		t.Errorf("CountByState[queued] = %d, want 9", counts[StateQueued])
+	}
+}
+
+// TestTerminalSnapshotDropsEdges pins the retained-memory bound: an
+// explicit run's edge list (up to ~64MB) is dropped from its snapshot
+// once the run is terminal, for both the finish and cancelled-while-
+// queued paths. Non-terminal snapshots keep it (the dispatcher executes
+// from the Begin snapshot).
+func TestTerminalSnapshotDropsEdges(t *testing.T) {
+	explicit := Spec{Config: gen.Config{Shape: gen.Explicit, Nodes: 3, Edges: []gen.Edge{{0, 1}, {1, 2}}}}
+	s := NewStore()
+
+	r := s.Create(explicit)
+	began, err := s.Begin(r.ID, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(began.Spec.Edges) != 2 {
+		t.Fatalf("Begin snapshot lost the edges the dispatcher executes from: %+v", began.Spec)
+	}
+	if _, err := s.Finish(r.ID, &Result{Match: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.Edges != nil {
+		t.Errorf("finished run still retains %d edges", len(got.Spec.Edges))
+	}
+	if !got.SpecRedacted {
+		t.Error("finished run with dropped edges not marked SpecRedacted")
+	}
+
+	q := s.Create(explicit)
+	if _, err := s.Cancel(q.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Get(q.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.Edges != nil {
+		t.Errorf("cancelled-queued run still retains %d edges", len(got.Spec.Edges))
+	}
+	if !got.SpecRedacted {
+		t.Error("cancelled-queued run with dropped edges not marked SpecRedacted")
+	}
+
+	// Runs that never carried an edge list are not marked redacted.
+	p := s.Create(pipelineSpec())
+	if _, err := s.Cancel(p.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Get(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SpecRedacted {
+		t.Error("edgeless run marked SpecRedacted")
+	}
+}
+
+// TestCreatedAtHasNoMonotonicClock pins that snapshots carry wall-clock
+// times only, so the API layer's UnixNano pagination cursors order runs
+// exactly as List does.
+func TestCreatedAtHasNoMonotonicClock(t *testing.T) {
+	r := NewStore().Create(pipelineSpec())
+	// A time with a monotonic reading prints it as "m=+...": Round(0)
+	// must have stripped it.
+	if s := r.CreatedAt.String(); strings.Contains(s, " m=") {
+		t.Errorf("CreatedAt %q still carries a monotonic reading", s)
+	}
+}
+
+func TestAwait(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Await(context.Background(), "nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Await(missing) = %v, want ErrNotFound", err)
+	}
+
+	// Terminal runs return immediately, no blocking.
+	done := s.Create(pipelineSpec())
+	if _, err := s.Begin(done.ID, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finish(done.ID, &Result{Match: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Await(context.Background(), done.ID)
+	if err != nil || r.State != StateSucceeded {
+		t.Fatalf("Await(terminal) = %v, %v; want succeeded", r, err)
+	}
+
+	// A waiter parked on a running run is released by Finish.
+	live := s.Create(pipelineSpec())
+	if _, err := s.Begin(live.ID, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Run, 1)
+	go func() {
+		r, err := s.Await(context.Background(), live.ID)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- r
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter park
+	if _, err := s.Finish(live.ID, nil, errors.New("boom")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-got:
+		if r.State != StateFailed || r.Error != "boom" {
+			t.Errorf("released Await = %+v, want failed/boom", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Await never released after Finish")
+	}
+
+	// A ctx timeout returns the current (non-terminal) snapshot.
+	waiting := s.Create(pipelineSpec())
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	r, err = s.Await(ctx, waiting.ID)
+	if err != nil || r.State != StateQueued {
+		t.Errorf("Await(timeout) = %+v, %v; want queued snapshot", r, err)
+	}
+
+	// Cancelling a queued run releases waiters too.
+	q := s.Create(pipelineSpec())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		s.Cancel(q.ID)
+	}()
+	r, err = s.Await(context.Background(), q.ID)
+	if err != nil || r.State != StateCancelled {
+		t.Errorf("Await(cancelled-queued) = %+v, %v; want cancelled", r, err)
 	}
 }
 

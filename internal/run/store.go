@@ -30,11 +30,14 @@ type shard struct {
 	runs map[string]*tracked
 }
 
-// tracked is the store's live record for one run: the run itself plus the
-// dispatcher's cancel hook while the run is in flight.
+// tracked is the store's live record for one run: the run itself, the
+// dispatcher's cancel hook while the run is in flight, and a done channel
+// closed exactly once when the run enters a terminal state (or is deleted
+// before reaching one), which is what Await long-polls block on.
 type tracked struct {
 	run    Run
 	cancel context.CancelFunc
+	done   chan struct{}
 }
 
 // NewStore returns an empty Store.
@@ -66,26 +69,39 @@ func (s *Store) newID() string {
 }
 
 // Create registers a new queued run for spec and returns its snapshot.
+// CreatedAt is stripped of its monotonic reading (Round(0)) so that
+// List's sort order and the API layer's UnixNano-based pagination cursors
+// compare the same clock — otherwise a wall-clock step between creations
+// could make paginated walks silently skip runs.
 func (s *Store) Create(spec Spec) Run {
 	r := Run{
 		ID:        s.newID(),
 		Spec:      spec,
 		State:     StateQueued,
-		CreatedAt: time.Now(),
+		CreatedAt: time.Now().Round(0),
 	}
 	sh := s.shardFor(r.ID)
 	sh.mu.Lock()
-	sh.runs[r.ID] = &tracked{run: r}
+	sh.runs[r.ID] = &tracked{run: r, done: make(chan struct{})}
 	sh.mu.Unlock()
 	return r
 }
 
 // Delete removes a run entirely. It exists so a submitter can roll back a
-// Create whose queue hand-off failed; it succeeds regardless of state.
+// Create whose queue hand-off failed — before the ID has been revealed to
+// anyone — and it succeeds regardless of state. Deleting a non-terminal
+// run releases any Await waiters with the run's last (still non-terminal)
+// snapshot, so Delete must not be used on runs whose IDs callers may
+// already be watching.
 func (s *Store) Delete(id string) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	delete(sh.runs, id)
+	if t, ok := sh.runs[id]; ok {
+		if !t.run.State.Terminal() {
+			close(t.done) // release any waiter; they'll re-read the last snapshot
+		}
+		delete(sh.runs, id)
+	}
 	sh.mu.Unlock()
 }
 
@@ -242,7 +258,58 @@ func (s *Store) Finish(id string, result *Result, err error) (Run, error) {
 		t.run.State = StateFailed
 		t.run.Error = err.Error()
 	}
+	redactEdges(&t.run)
+	close(t.done)
 	return t.run, nil
+}
+
+// redactEdges drops the explicit edge list from a terminal snapshot: it
+// can be ~64MB per run, and retaining it for thousands of finished runs
+// (or serializing it into every list response) would let submitters pin
+// unbounded memory. Execution is done — only the run's outcome needs to
+// survive. SpecRedacted marks the snapshot so callers can tell the spec
+// no longer describes the executed graph (resubmitting it as-is would
+// run an edgeless graph).
+func redactEdges(r *Run) {
+	if len(r.Spec.Edges) == 0 {
+		return
+	}
+	r.Spec.Edges = nil
+	r.SpecRedacted = true
+}
+
+// Await blocks until the run reaches a terminal state or ctx is done and
+// returns the latest snapshot in either case (so a timed-out wait still
+// reports current progress). It fails only when id is unknown at call
+// time. This is what backs the HTTP API's ?wait= long-poll: callers park
+// on the run's done channel instead of busy-polling Get.
+func (s *Store) Await(ctx context.Context, id string) (Run, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	t, ok := sh.runs[id]
+	var r Run
+	if ok {
+		r = t.run
+	}
+	sh.mu.RUnlock()
+	if !ok {
+		return Run{}, ErrNotFound
+	}
+	// t stays valid even if the run leaves the map while we wait: eviction
+	// only removes terminal (never-again-mutated) entries, and Delete (the
+	// submit-rollback path) closes done so waiters wake rather than hang —
+	// they return the last snapshot taken below under the shard lock.
+	if r.State.Terminal() {
+		return r, nil
+	}
+	select {
+	case <-ctx.Done():
+	case <-t.done:
+	}
+	sh.mu.RLock()
+	r = t.run
+	sh.mu.RUnlock()
+	return r, nil
 }
 
 // Cancel requests cancellation of a run. A queued run moves directly to
@@ -264,6 +331,8 @@ func (s *Store) Cancel(id string) (Run, error) {
 		t.run.State = StateCancelled
 		t.run.Error = "cancelled while queued"
 		t.run.FinishedAt = &now
+		redactEdges(&t.run)
+		close(t.done)
 		return t.run, nil
 	case StateRunning:
 		if t.cancel != nil {

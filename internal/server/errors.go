@@ -1,0 +1,62 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/core"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/pkg/api"
+)
+
+// Local sentinels for failures that originate in the HTTP layer itself
+// (the service layer has no notion of media types or query strings).
+var (
+	errInvalidRequest       = errors.New("server: invalid request")
+	errUnsupportedMediaType = errors.New("server: unsupported media type")
+)
+
+// errorMapping is the single sentinel→(status, code) table for the whole
+// API surface. Handlers never pick statuses or codes themselves; they
+// return sentinel-wrapped errors and writeError classifies them here, so a
+// new error category is one table row, not N handler switches.
+var errorMapping = []struct {
+	sentinel error
+	status   int
+	code     api.Code
+}{
+	{core.ErrInvalidSpec, http.StatusBadRequest, api.CodeInvalidSpec},
+	{core.ErrUnknownWorkload, http.StatusBadRequest, api.CodeUnknownWorkload},
+	{errInvalidRequest, http.StatusBadRequest, api.CodeInvalidRequest},
+	{errUnsupportedMediaType, http.StatusUnsupportedMediaType, api.CodeUnsupportedMediaType},
+	{core.ErrRunNotFound, http.StatusNotFound, api.CodeNotFound},
+	{core.ErrRunTerminal, http.StatusConflict, api.CodeRunTerminal},
+	{core.ErrQueueFull, http.StatusTooManyRequests, api.CodeQueueFull},
+	{core.ErrShuttingDown, http.StatusServiceUnavailable, api.CodeShuttingDown},
+}
+
+// classify maps err to its HTTP status and machine-readable code,
+// defaulting to 500/internal for anything unrecognized.
+func classify(err error) (int, api.Code) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge, api.CodeRequestTooLarge
+	}
+	for _, m := range errorMapping {
+		if errors.Is(err, m.sentinel) {
+			return m.status, m.code
+		}
+	}
+	return http.StatusInternalServerError, api.CodeInternal
+}
+
+// writeError emits the structured v1 error envelope
+// {"error":{"code":...,"message":...,"details":...}} for err; details may
+// be nil.
+func writeError(w http.ResponseWriter, err error, details map[string]any) {
+	status, code := classify(err)
+	writeJSON(w, status, api.ErrorEnvelope{Error: &api.Error{
+		Code:    code,
+		Message: err.Error(),
+		Details: details,
+	}})
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/pkg/api"
+)
+
+// responseWriter wraps the downstream http.ResponseWriter to (a) record the
+// status code for request logging and (b) convert the plain-text 404/405
+// bodies http.ServeMux generates for unmatched routes into the structured
+// v1 error envelope, so *every* 4xx/5xx on this surface carries a
+// machine-readable code.
+type responseWriter struct {
+	http.ResponseWriter
+	status      int
+	intercepted bool // mux-generated error body is being replaced
+}
+
+func (rw *responseWriter) WriteHeader(code int) {
+	if rw.status != 0 {
+		rw.ResponseWriter.WriteHeader(code)
+		return
+	}
+	rw.status = code
+	// Our handlers always set application/json before writing; a text/plain
+	// 404/405 can only be the mux (or http.Error) speaking. Swap its body
+	// for the envelope.
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		strings.HasPrefix(rw.Header().Get("Content-Type"), "text/plain") {
+		rw.intercepted = true
+		rw.Header().Set("Content-Type", "application/json")
+		rw.Header().Del("Content-Length")
+		rw.ResponseWriter.WriteHeader(code)
+		apiCode := api.CodeNotFound
+		msg := "no route matches the request path"
+		if code == http.StatusMethodNotAllowed {
+			apiCode = api.CodeMethodNotAllowed
+			msg = "method not allowed for this path"
+		}
+		json.NewEncoder(rw.ResponseWriter).Encode(api.ErrorEnvelope{ //nolint:errcheck // headers are gone either way
+			Error: &api.Error{Code: apiCode, Message: msg},
+		})
+		return
+	}
+	rw.ResponseWriter.WriteHeader(code)
+}
+
+func (rw *responseWriter) Write(b []byte) (int, error) {
+	if rw.intercepted {
+		// Swallow the mux's plain-text body; the envelope already went out.
+		return len(b), nil
+	}
+	if rw.status == 0 {
+		rw.status = http.StatusOK
+	}
+	return rw.ResponseWriter.Write(b)
+}
+
+// newRequestID returns a short random hex ID for request correlation.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// withRequestLog wraps next with request logging (method, path, status,
+// duration) and request-ID propagation: an incoming X-Request-ID is
+// honored, otherwise one is generated, and either way it is echoed on the
+// response and included in the log line.
+func (s *Server) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		rw := &responseWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rw, r)
+		if rw.status == 0 {
+			rw.status = http.StatusOK
+		}
+		s.logf("dagd: %s %s %d %s rid=%s", r.Method, r.URL.Path, rw.status,
+			time.Since(start).Round(time.Microsecond), rid)
+	})
+}

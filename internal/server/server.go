@@ -1,59 +1,82 @@
 // Package server exposes the dagd run service over a JSON HTTP API:
 //
-//	POST /v1/runs             submit a run spec (optional "workload" field), returns 202 + the queued run
-//	GET  /v1/runs             list runs (optional ?state= filter)
-//	GET  /v1/runs/{id}        poll one run's status/result
+//	POST /v1/runs             submit a run spec (generated or explicit DAG), returns 202 + the queued run
+//	GET  /v1/runs             list runs (?state= filter, ?limit=&cursor= pagination)
+//	GET  /v1/runs/{id}        poll one run's status/result (?wait=1s long-polls until terminal)
 //	POST /v1/runs/{id}/cancel request cancellation
 //	GET  /v1/workloads        list registered workloads + the service default
-//	GET  /healthz             liveness + queue stats
+//	GET  /healthz             liveness + queue stats (stays 200 while draining)
+//	GET  /readyz              readiness; 503 shutting_down once shutdown starts
 //
-// Errors are JSON objects {"error": "..."} with conventional status codes:
-// 400 for bad specs (including unknown workload names and unknown ?state=
-// filters), 404 for unknown runs, 409 for cancelling a finished run, 429
-// when the dispatch queue is full, 503 while shutting down.
+// Every 4xx/5xx response carries the structured envelope defined in
+// pkg/api: {"error":{"code":"...","message":"...","details":{...}}}. The
+// sentinel→code/status mapping lives in one table (errors.go): 400
+// invalid_request/invalid_spec/unknown_workload, 404 not_found, 405
+// method_not_allowed, 409 run_terminal, 413 request_too_large, 415
+// unsupported_media_type, 429 queue_full, 503 shutting_down, 500 internal.
 package server
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
+	"mime"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/core"
 )
 
-// maxSpecBytes bounds the POST /v1/runs body; specs are tiny.
-const maxSpecBytes = 1 << 16
+// maxSpecBytes bounds the POST /v1/runs body. Explicit specs carry literal
+// edge lists (up to run.MaxEdges ≈ 4M edges at ~10 JSON bytes each), so
+// the bound is sized for those rather than the tiny generated-shape specs.
+// This is a per-request bound; aggregate exposure is limited by the queue
+// depth (-queue, each queued run holds its edge list until execution) and
+// by terminal snapshots dropping their edge lists (run.Store) — operators
+// serving untrusted clients should size -queue accordingly.
+const maxSpecBytes = 64 << 20
+
+// maxWait caps the ?wait= long-poll duration per request; clients that
+// need longer simply re-issue the poll (pkg/client's Wait does).
+const maxWait = 30 * time.Second
 
 // Server is the HTTP front end for a core.Service.
 type Server struct {
-	svc *core.Service
-	mux *http.ServeMux
+	svc      *core.Service
+	mux      *http.ServeMux
+	logf     func(format string, args ...any)
+	draining atomic.Bool // set once graceful shutdown begins
 }
 
 // New returns a Server routing to svc.
 func New(svc *core.Service) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s := &Server{svc: svc, mux: http.NewServeMux(), logf: log.Printf}
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
 }
 
-// Handler returns the routing handler (useful for tests and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the full handler chain — request logging and
+// envelope-normalizing middleware around the route mux — for tests and
+// embedding.
+func (s *Server) Handler() http.Handler { return s.withRequestLog(s.mux) }
 
 // ListenAndServe serves on addr until ctx is cancelled, then shuts down
-// gracefully: stop accepting connections, then drain the run service so
-// in-flight runs finish (or are force-cancelled once drainTimeout expires)
-// before the process exits.
+// gracefully: flip readiness, drain the run service so in-flight runs
+// finish (or are force-cancelled once drainTimeout expires), then close
+// the HTTP server.
 func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -65,7 +88,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout t
 
 func (s *Server) serve(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
 	httpSrv := &http.Server{
-		Handler:           s.mux,
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
@@ -79,45 +102,61 @@ func (s *Server) serve(ctx context.Context, ln net.Listener, drainTimeout time.D
 	}
 
 	log.Printf("dagd: shutting down, draining for up to %v", drainTimeout)
+	s.draining.Store(true)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
+	// Drain the run service while still serving HTTP: /readyz has flipped
+	// to 503 and new submissions are refused, but clients can keep polling
+	// (including ?wait= long-polls) to observe their runs' final states.
+	svcErr := s.svc.Shutdown(drainCtx)
 	shutdownErr := httpSrv.Shutdown(drainCtx)
-	if err := s.svc.Shutdown(drainCtx); err != nil && shutdownErr == nil {
-		shutdownErr = err
+	if shutdownErr == nil {
+		shutdownErr = svcErr
 	}
 	<-errc // Serve has returned http.ErrServerClosed by now
 	return shutdownErr
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// An absent Content-Type is tolerated (Go's http client omits it for
+	// bare byte-reader bodies), but a present one must declare JSON. Note
+	// curl's bare -d sends application/x-www-form-urlencoded and is
+	// rejected — pass -H 'Content-Type: application/json'.
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
+			writeError(w, fmt.Errorf("%w: Content-Type %q (want application/json)",
+				errUnsupportedMediaType, ct), nil)
+			return
+		}
+	}
 	var spec core.RunSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		// Both errors are wrapped so classify can still surface an
+		// *http.MaxBytesError as 413 request_too_large.
+		writeError(w, fmt.Errorf("%w: decoding spec: %w", errInvalidRequest, err), nil)
 		return
 	}
 	rr, err := s.svc.Submit(spec)
 	if err != nil {
-		switch {
-		case errors.Is(err, core.ErrQueueFull):
-			writeError(w, http.StatusTooManyRequests, err)
-		case errors.Is(err, core.ErrShuttingDown):
-			writeError(w, http.StatusServiceUnavailable, err)
-		default:
-			writeError(w, http.StatusBadRequest, err)
+		var details map[string]any
+		if errors.Is(err, core.ErrQueueFull) {
+			details = map[string]any{"queue_depth": s.svc.Stats().QueueDepth}
 		}
+		writeError(w, err, details)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, rr)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	runs := s.svc.List()
-	if want := r.URL.Query().Get("state"); want != "" {
+	q := r.URL.Query()
+	runs := s.svc.List() // sorted by (CreatedAt, ID) — the pagination order
+	if want := q.Get("state"); want != "" {
 		state, err := core.ParseRunState(want)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, fmt.Errorf("%w: %v", errInvalidRequest, err), nil)
 			return
 		}
 		filtered := runs[:0]
@@ -128,16 +167,98 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		runs = filtered
 	}
+	if cur := q.Get("cursor"); cur != "" {
+		afterNanos, afterID, err := decodeCursor(cur)
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: %v", errInvalidRequest, err), nil)
+			return
+		}
+		// Keep only runs strictly after the cursor position in the stable
+		// (CreatedAt, ID) order. Position-based cursors survive eviction:
+		// a deleted run simply no longer appears, without shifting later
+		// pages the way offset pagination would.
+		kept := runs[:0]
+		for _, rr := range runs {
+			nanos := rr.CreatedAt.UnixNano()
+			if nanos > afterNanos || (nanos == afterNanos && rr.ID > afterID) {
+				kept = append(kept, rr)
+			}
+		}
+		runs = kept
+	}
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			writeError(w, fmt.Errorf("%w: limit must be a positive integer, got %q",
+				errInvalidRequest, ls), nil)
+			return
+		}
+		limit = n
+	}
+	next := ""
+	if limit > 0 && len(runs) > limit {
+		runs = runs[:limit]
+		last := runs[len(runs)-1]
+		next = encodeCursor(last.CreatedAt.UnixNano(), last.ID)
+	}
 	if runs == nil {
 		runs = []core.RunInfo{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"runs": runs, "count": len(runs)})
+	resp := map[string]any{"runs": runs, "count": len(runs)}
+	if next != "" {
+		resp["next_cursor"] = next
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// encodeCursor packs a (CreatedAt, ID) position into an opaque URL-safe
+// token.
+func encodeCursor(nanos int64, id string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(fmt.Sprintf("%d|%s", nanos, id)))
+}
+
+func decodeCursor(s string) (nanos int64, id string, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return 0, "", fmt.Errorf("malformed cursor")
+	}
+	sep := strings.IndexByte(string(raw), '|')
+	if sep < 0 {
+		return 0, "", fmt.Errorf("malformed cursor")
+	}
+	nanos, err = strconv.ParseInt(string(raw[:sep]), 10, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("malformed cursor")
+	}
+	return nanos, string(raw[sep+1:]), nil
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	rr, err := s.svc.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d < 0 {
+			writeError(w, fmt.Errorf("%w: wait must be a non-negative duration (e.g. 1s), got %q",
+				errInvalidRequest, ws), nil)
+			return
+		}
+		if d > maxWait {
+			d = maxWait
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		rr, err := s.svc.Await(ctx, id)
+		if err != nil {
+			writeError(w, err, map[string]any{"id": id})
+			return
+		}
+		writeJSON(w, http.StatusOK, rr)
+		return
+	}
+	rr, err := s.svc.Get(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, err, map[string]any{"id": id})
 		return
 	}
 	writeJSON(w, http.StatusOK, rr)
@@ -145,16 +266,11 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	rr, err := s.svc.Cancel(r.PathValue("id"))
-	switch {
-	case err == nil:
-		writeJSON(w, http.StatusOK, rr)
-	case errors.Is(err, core.ErrRunNotFound):
-		writeError(w, http.StatusNotFound, err)
-	case errors.Is(err, core.ErrRunTerminal):
-		writeError(w, http.StatusConflict, err)
-	default:
-		writeError(w, http.StatusInternalServerError, err)
+	if err != nil {
+		writeError(w, err, map[string]any{"id": r.PathValue("id")})
+		return
 	}
+	writeJSON(w, http.StatusOK, rr)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
@@ -166,11 +282,26 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealth is the liveness probe: it answers 200 "ok" for as long as
+// the process can serve at all, including while draining — restarting a
+// draining process would only lose in-flight runs.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"stats":  s.svc.Stats(),
 	})
+}
+
+// handleReady is the readiness probe: once shutdown begins (or the
+// dispatcher stops accepting work) it answers 503 with code shutting_down
+// so load balancers route new submissions elsewhere, while liveness stays
+// green.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() || s.svc.Draining() {
+		writeError(w, core.ErrShuttingDown, nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -182,8 +313,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 		// Headers are gone; all we can do is log.
 		log.Printf("dagd: encoding response: %v", err)
 	}
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -9,11 +9,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/core"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/pkg/api"
 )
 
 // newTestServer stands up a real Service behind an httptest server.
@@ -40,6 +42,9 @@ func doJSON(t *testing.T, method, url, body string) (int, map[string]any) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -56,6 +61,24 @@ func doJSON(t *testing.T, method, url, body string) (int, map[string]any) {
 		}
 	}
 	return resp.StatusCode, decoded
+}
+
+// errCode extracts the machine-readable code from a structured error
+// envelope body, failing the test if the envelope shape is wrong.
+func errCode(t *testing.T, body map[string]any) string {
+	t.Helper()
+	env, ok := body["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("response is not a structured error envelope: %v", body)
+	}
+	code, _ := env["code"].(string)
+	if code == "" {
+		t.Fatalf("error envelope has no code: %v", body)
+	}
+	if msg, _ := env["message"].(string); msg == "" {
+		t.Fatalf("error envelope has no message: %v", body)
+	}
+	return code
 }
 
 // pollUntil polls GET /v1/runs/{id} until the run state matches want.
@@ -221,31 +244,140 @@ func TestListAndFilter(t *testing.T) {
 	}
 }
 
+// TestErrorPaths pins the acceptance criterion that every 4xx/5xx carries
+// the structured envelope with a documented machine-readable code — even
+// the 404/405s the stdlib mux generates for unmatched routes.
 func TestErrorPaths(t *testing.T) {
 	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 4, Dispatchers: 1})
 	cases := []struct {
 		method, path, body string
 		want               int
+		code               string
 	}{
-		{"GET", "/v1/runs/r999999-deadbeef", "", http.StatusNotFound},
-		{"POST", "/v1/runs/r999999-deadbeef/cancel", "", http.StatusNotFound},
-		{"POST", "/v1/runs", `not json`, http.StatusBadRequest},
-		{"POST", "/v1/runs", `{"shape":"random","nodes":1}`, http.StatusBadRequest},
-		{"POST", "/v1/runs", `{"shape":"hexagon"}`, http.StatusBadRequest},
-		{"POST", "/v1/runs", `{"shape":"pipeline","stages":5,"width":2,"workload":"bogus"}`, http.StatusBadRequest},
-		{"POST", "/v1/runs", `{"shape":"pipeline","stages":5,"width":2,"bogus_knob":1}`, http.StatusBadRequest},
-		{"DELETE", "/v1/runs", "", http.StatusMethodNotAllowed},
+		{"GET", "/v1/runs/r999999-deadbeef", "", http.StatusNotFound, "not_found"},
+		{"POST", "/v1/runs/r999999-deadbeef/cancel", "", http.StatusNotFound, "not_found"},
+		{"POST", "/v1/runs", `not json`, http.StatusBadRequest, "invalid_request"},
+		{"POST", "/v1/runs", `{"shape":"random","nodes":1}`, http.StatusBadRequest, "invalid_spec"},
+		// An unparseable shape name fails at JSON decode, before spec
+		// validation, so it is an invalid_request, not an invalid_spec.
+		{"POST", "/v1/runs", `{"shape":"hexagon"}`, http.StatusBadRequest, "invalid_request"},
+		{"POST", "/v1/runs", `{"shape":"pipeline","stages":5,"width":2,"workload":"bogus"}`, http.StatusBadRequest, "unknown_workload"},
+		{"POST", "/v1/runs", `{"shape":"pipeline","stages":5,"width":2,"bogus_knob":1}`, http.StatusBadRequest, "invalid_request"},
+		{"GET", "/v1/runs?state=bogus", "", http.StatusBadRequest, "invalid_request"},
+		{"GET", "/no/such/path", "", http.StatusNotFound, "not_found"},
+		{"DELETE", "/v1/runs", "", http.StatusMethodNotAllowed, "method_not_allowed"},
 	}
 	for _, tc := range cases {
 		code, body := doJSON(t, tc.method, ts.URL+tc.path, tc.body)
 		if code != tc.want {
 			t.Errorf("%s %s: status %d, want %d (body %v)", tc.method, tc.path, code, tc.want, body)
 		}
-		if code >= 400 && code != http.StatusMethodNotAllowed {
-			if msg, _ := body["error"].(string); msg == "" {
-				t.Errorf("%s %s: error body missing message: %v", tc.method, tc.path, body)
-			}
+		if got := errCode(t, body); got != tc.code {
+			t.Errorf("%s %s: error code %q, want %q", tc.method, tc.path, got, tc.code)
 		}
+	}
+}
+
+// TestExplicitSpecAdmission covers every malformed explicit-graph class:
+// each must 400 with code invalid_spec at admission and never reach a
+// dispatcher (no run may exist afterwards).
+func TestExplicitSpecAdmission(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 8, Dispatchers: 1})
+	cases := []struct {
+		name, spec string
+	}{
+		{"cycle", `{"shape":"explicit","nodes":3,"edges":[[0,1],[1,2],[2,0]]}`},
+		{"self edge", `{"shape":"explicit","nodes":3,"edges":[[1,1]]}`},
+		{"duplicate edge", `{"shape":"explicit","nodes":3,"edges":[[0,1],[0,1]]}`},
+		{"out of range", `{"shape":"explicit","nodes":3,"edges":[[0,5]]}`},
+		{"negative index", `{"shape":"explicit","nodes":3,"edges":[[-1,2]]}`},
+		{"zero nodes", `{"shape":"explicit","nodes":0}`},
+		{"edges on generated shape", `{"shape":"random","nodes":10,"p":0.1,"edges":[[0,1]]}`},
+	}
+	for _, tc := range cases {
+		code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/runs", tc.spec)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %v)", tc.name, code, body)
+			continue
+		}
+		if got := errCode(t, body); got != "invalid_spec" {
+			t.Errorf("%s: error code %q, want invalid_spec", tc.name, got)
+		}
+	}
+	// An over-cap edge list must also be invalid_spec (the length check
+	// fires before edge content is examined, so junk filler is fine).
+	edges := bytes.Repeat([]byte("[0,1],"), 1<<22+1)
+	huge := fmt.Sprintf(`{"shape":"explicit","nodes":2,"edges":[%s]}`, edges[:len(edges)-1])
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/runs", huge)
+	if code != http.StatusBadRequest || errCode(t, body) != "invalid_spec" {
+		t.Errorf("over-cap edges: status %d code %v, want 400 invalid_spec", code, body)
+	}
+	// Nothing above may have left a run behind: admission failures never
+	// reach the store or a dispatcher.
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/runs", "")
+	if code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	if n, _ := body["count"].(float64); n != 0 {
+		t.Errorf("rejected specs left %v runs in the store", body["count"])
+	}
+}
+
+// TestExplicitEndToEnd submits a client-authored diamond DAG and verifies
+// it executes with the serial self-check matching.
+func TestExplicitEndToEnd(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 4, Dispatchers: 1})
+	id := submit(t, ts.URL, `{"shape":"explicit","nodes":4,"edges":[[0,1],[0,2],[1,3],[2,3]],"workload":"pathcount"}`)
+	body := pollUntil(t, ts.URL, id, "succeeded")
+	result, ok := body["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("no result: %v", body)
+	}
+	if match, _ := result["match"].(bool); !match {
+		t.Error("explicit run: match = false")
+	}
+	// Diamond has exactly two source→sink paths.
+	if paths, _ := result["sink_paths_mod64"].(float64); paths != 2 {
+		t.Errorf("diamond sink paths = %v, want 2", result["sink_paths_mod64"])
+	}
+	if nodes, _ := result["nodes"].(float64); nodes != 4 {
+		t.Errorf("nodes = %v, want 4", result["nodes"])
+	}
+}
+
+func TestUnsupportedMediaType(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 4, Dispatchers: 1})
+	spec := `{"shape":"pipeline","stages":5,"width":2}`
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/runs", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("text/plain submit: status %d, want 415", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if got := errCode(t, body); got != "unsupported_media_type" {
+		t.Errorf("error code %q, want unsupported_media_type", got)
+	}
+	// application/json with a charset parameter is fine.
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/runs", strings.NewReader(spec))
+	req2.Header.Set("Content-Type", "application/json; charset=utf-8")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Errorf("application/json;charset submit: status %d, want 202", resp2.StatusCode)
 	}
 }
 
@@ -281,6 +413,186 @@ func TestHealthz(t *testing.T) {
 	}
 	if depth, _ := stats["queue_depth"].(float64); int(depth) != 7 {
 		t.Errorf("queue_depth = %v, want 7", stats["queue_depth"])
+	}
+}
+
+// TestReadyz covers the liveness/readiness split: /healthz stays 200 while
+// the service drains, /readyz flips to 503 shutting_down the moment
+// shutdown starts.
+func TestReadyz(t *testing.T) {
+	svc := core.NewService(core.ServiceOptions{QueueDepth: 4, Dispatchers: 1})
+	ts := httptest.NewServer(New(svc).Handler())
+	defer ts.Close()
+
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/readyz", "")
+	if code != http.StatusOK {
+		t.Fatalf("readyz before shutdown: status %d (body %v)", code, body)
+	}
+	if status, _ := body["status"].(string); status != "ok" {
+		t.Errorf("readyz status = %v, want ok", body["status"])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/readyz", "")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: status %d, want 503", code)
+	}
+	if got := errCode(t, body); got != "shutting_down" {
+		t.Errorf("readyz error code %q, want shutting_down", got)
+	}
+	// Liveness is unchanged: the process can still serve.
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/healthz", "")
+	if code != http.StatusOK {
+		t.Errorf("healthz while draining: status %d, want 200", code)
+	}
+	if status, _ := body["status"].(string); status != "ok" {
+		t.Errorf("healthz status while draining = %v, want ok", body["status"])
+	}
+}
+
+// TestWaitParam covers the ?wait= long-poll: a single GET parks until the
+// run finishes instead of requiring a busy-poll loop.
+func TestWaitParam(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 4, Dispatchers: 2})
+	id := submit(t, ts.URL, `{"shape":"pipeline","stages":200,"width":4,"work":100}`)
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/v1/runs/"+id+"?wait=20s", "")
+	if code != http.StatusOK {
+		t.Fatalf("wait poll: status %d (body %v)", code, body)
+	}
+	if state, _ := body["state"].(string); state != "succeeded" {
+		t.Errorf("state after ?wait= poll = %q, want succeeded", state)
+	}
+
+	// A wait that expires returns the current snapshot, not an error.
+	slow := submit(t, ts.URL, `{"shape":"pipeline","stages":40000,"width":4,"work":3000}`)
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/runs/"+slow+"?wait=50ms", "")
+	if code != http.StatusOK {
+		t.Fatalf("expired wait: status %d", code)
+	}
+	if state, _ := body["state"].(string); state != "queued" && state != "running" {
+		t.Errorf("expired wait state = %q, want queued|running", state)
+	}
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/runs/"+slow+"/cancel", ""); code != http.StatusOK {
+		t.Fatalf("cancel slow run: status %d", code)
+	}
+
+	// Malformed and negative waits are invalid_request.
+	for _, bad := range []string{"bogus", "-1s"} {
+		code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/runs/"+id+"?wait="+bad, "")
+		if code != http.StatusBadRequest || errCode(t, body) != "invalid_request" {
+			t.Errorf("wait=%s: status %d body %v, want 400 invalid_request", bad, code, body)
+		}
+	}
+	// Waiting on a missing run is a plain 404.
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/runs/r999999-deadbeef?wait=1s", "")
+	if code != http.StatusNotFound || errCode(t, body) != "not_found" {
+		t.Errorf("wait on missing run: status %d body %v, want 404 not_found", code, body)
+	}
+}
+
+// TestListPagination walks ?limit=&cursor= pages and checks the union is
+// exactly the full stable-ordered listing.
+func TestListPagination(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 16, Dispatchers: 2})
+	const total = 7
+	for i := 0; i < total; i++ {
+		id := submit(t, ts.URL, fmt.Sprintf(`{"shape":"pipeline","stages":10,"width":2,"seed":%d}`, i))
+		pollUntil(t, ts.URL, id, "succeeded")
+	}
+
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/v1/runs", "")
+	if code != http.StatusOK {
+		t.Fatalf("full list: status %d", code)
+	}
+	full := body["runs"].([]any)
+	if len(full) != total {
+		t.Fatalf("full list has %d runs, want %d", len(full), total)
+	}
+	var wantIDs []string
+	for _, r := range full {
+		wantIDs = append(wantIDs, r.(map[string]any)["id"].(string))
+	}
+
+	var gotIDs []string
+	cursor := ""
+	pages := 0
+	for {
+		url := ts.URL + "/v1/runs?limit=3"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		code, body := doJSON(t, http.MethodGet, url, "")
+		if code != http.StatusOK {
+			t.Fatalf("page %d: status %d", pages, code)
+		}
+		runs := body["runs"].([]any)
+		if len(runs) > 3 {
+			t.Fatalf("page %d has %d runs, limit was 3", pages, len(runs))
+		}
+		for _, r := range runs {
+			gotIDs = append(gotIDs, r.(map[string]any)["id"].(string))
+		}
+		next, _ := body["next_cursor"].(string)
+		if next == "" {
+			break
+		}
+		cursor = next
+		if pages++; pages > total {
+			t.Fatal("pagination never terminated")
+		}
+	}
+	if !reflect.DeepEqual(gotIDs, wantIDs) {
+		t.Errorf("paged IDs %v != full listing %v", gotIDs, wantIDs)
+	}
+
+	// Bad cursor and bad limit are invalid_request.
+	for _, q := range []string{"cursor=%21%21%21", "limit=0", "limit=-2", "limit=x"} {
+		code, body := doJSON(t, http.MethodGet, ts.URL+"/v1/runs?"+q, "")
+		if code != http.StatusBadRequest || errCode(t, body) != "invalid_request" {
+			t.Errorf("?%s: status %d body %v, want 400 invalid_request", q, code, body)
+		}
+	}
+}
+
+// TestClassifyRequestTooLarge pins that the submit handler's double-%w
+// wrapping keeps *http.MaxBytesError reachable through the error chain,
+// so oversized bodies classify as 413 request_too_large rather than
+// collapsing into 400 invalid_request.
+func TestClassifyRequestTooLarge(t *testing.T) {
+	wrapped := fmt.Errorf("%w: decoding spec: %w", errInvalidRequest, &http.MaxBytesError{Limit: maxSpecBytes})
+	status, code := classify(wrapped)
+	if status != http.StatusRequestEntityTooLarge || code != api.CodeRequestTooLarge {
+		t.Errorf("classify(MaxBytesError) = %d %s, want 413 request_too_large", status, code)
+	}
+}
+
+// TestRequestIDHeader covers the logging middleware's ID propagation: a
+// generated X-Request-ID on every response, and incoming IDs echoed back.
+func TestRequestIDHeader(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 4, Dispatchers: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rid := resp.Header.Get("X-Request-ID"); rid == "" {
+		t.Error("response missing generated X-Request-ID")
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "caller-supplied-42")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rid := resp.Header.Get("X-Request-ID"); rid != "caller-supplied-42" {
+		t.Errorf("X-Request-ID = %q, want the caller-supplied value echoed", rid)
 	}
 }
 

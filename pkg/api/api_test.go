@@ -1,0 +1,90 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// TestErrorSentinelMapping pins that a decoded envelope unwraps to the
+// sentinel for its code, and only that sentinel.
+func TestErrorSentinelMapping(t *testing.T) {
+	cases := []struct {
+		code Code
+		want error
+	}{
+		{CodeInvalidRequest, ErrInvalidRequest},
+		{CodeInvalidSpec, ErrInvalidSpec},
+		{CodeUnknownWorkload, ErrUnknownWorkload},
+		{CodeUnsupportedMediaType, ErrUnsupportedMediaType},
+		{CodeRequestTooLarge, ErrRequestTooLarge},
+		{CodeNotFound, ErrNotFound},
+		{CodeMethodNotAllowed, ErrMethodNotAllowed},
+		{CodeRunTerminal, ErrRunTerminal},
+		{CodeQueueFull, ErrQueueFull},
+		{CodeShuttingDown, ErrShuttingDown},
+		{CodeInternal, ErrInternal},
+	}
+	for _, tc := range cases {
+		err := error(&Error{Code: tc.code, Message: "boom"})
+		if !errors.Is(err, tc.want) {
+			t.Errorf("code %s does not unwrap to its sentinel", tc.code)
+		}
+		if tc.want != ErrNotFound && errors.Is(err, ErrNotFound) {
+			t.Errorf("code %s also matches ErrNotFound", tc.code)
+		}
+	}
+	// Unknown (future) codes still behave as plain errors.
+	future := &Error{Code: "brand_new_code", Message: "??"}
+	if errors.Is(future, ErrInternal) {
+		t.Error("unknown code matched a sentinel")
+	}
+	if future.Error() == "" {
+		t.Error("unknown code lost its message")
+	}
+}
+
+// TestEnvelopeRoundTrip pins the wire shape of the error envelope.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	blob := `{"error":{"code":"queue_full","message":"queue full","details":{"queue_depth":8}}}`
+	var env ErrorEnvelope
+	if err := json.Unmarshal([]byte(blob), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error == nil || env.Error.Code != CodeQueueFull {
+		t.Fatalf("decoded envelope = %+v", env.Error)
+	}
+	if depth, _ := env.Error.Details["queue_depth"].(float64); depth != 8 {
+		t.Errorf("details lost: %v", env.Error.Details)
+	}
+	if !errors.Is(env.Error, ErrQueueFull) {
+		t.Error("decoded envelope does not match ErrQueueFull")
+	}
+}
+
+func TestStateTerminal(t *testing.T) {
+	for s, want := range map[State]bool{
+		StateQueued: false, StateRunning: false,
+		StateSucceeded: true, StateFailed: true, StateCancelled: true,
+	} {
+		if s.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v, want %v", s, !want, want)
+		}
+	}
+}
+
+func TestEdgeJSON(t *testing.T) {
+	out, err := json.Marshal([]Edge{{0, 1}, {2, 3}})
+	if err != nil || string(out) != "[[0,1],[2,3]]" {
+		t.Fatalf("Marshal = %s, %v", out, err)
+	}
+	var edges []Edge
+	if err := json.Unmarshal(out, &edges); err != nil || len(edges) != 2 || edges[1] != (Edge{2, 3}) {
+		t.Fatalf("Unmarshal = %v, %v", edges, err)
+	}
+	for _, bad := range []string{`[[1]]`, `[[1,2,3]]`, `[1,2]`} {
+		if err := json.Unmarshal([]byte(bad), &edges); err == nil {
+			t.Errorf("Unmarshal(%s) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Shape names accepted in RunSpec.Shape.
+const (
+	ShapeRandom   = "random"
+	ShapePipeline = "pipeline"
+	ShapeExplicit = "explicit"
+)
+
+// State is a run's lifecycle state as serialized on the wire.
+type State string
+
+// Run lifecycle states: queued → running → succeeded|failed|cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCancelled
+}
+
+// Edge is one directed edge of an explicit spec, serialized as a
+// two-element JSON array [from, to].
+type Edge [2]int
+
+// UnmarshalJSON enforces that an edge is exactly a [from, to] pair, like
+// the server does at admission.
+func (e *Edge) UnmarshalJSON(b []byte) error {
+	var pair []int
+	if err := json.Unmarshal(b, &pair); err != nil {
+		return fmt.Errorf("api: edge must be a [from,to] array: %w", err)
+	}
+	if len(pair) != 2 {
+		return fmt.Errorf("api: edge must have exactly 2 endpoints, got %d", len(pair))
+	}
+	e[0], e[1] = pair[0], pair[1]
+	return nil
+}
+
+// RunSpec is the POST /v1/runs body: which DAG to build (generated or
+// explicit) and how to execute it. Exactly the fields relevant to Shape
+// should be set; the server rejects, for example, an edges list on a
+// generated shape.
+type RunSpec struct {
+	Shape    string  `json:"shape"`
+	Nodes    int     `json:"nodes,omitempty"`    // node count (random, explicit)
+	EdgeProb float64 `json:"p,omitempty"`        // forward-edge probability (random)
+	Stages   int     `json:"stages,omitempty"`   // pipeline depth (pipeline)
+	Width    int     `json:"width,omitempty"`    // pipeline width (pipeline)
+	Seed     int64   `json:"seed,omitempty"`     // generator seed (random)
+	Edges    []Edge  `json:"edges,omitempty"`    // literal edge list (explicit)
+	Workload string  `json:"workload,omitempty"` // registered workload name; "" = server default
+	Work     int     `json:"work,omitempty"`     // busy-work iterations per node
+	Workers  int     `json:"workers,omitempty"`  // per-run scheduler pool size; 0 = server default
+}
+
+// Result is the measured outcome of a finished run.
+type Result struct {
+	Workload       string  `json:"workload"`
+	Nodes          int     `json:"nodes"`
+	Edges          int     `json:"edges"`
+	Depth          int     `json:"depth"`
+	Workers        int     `json:"workers"`
+	SinkPaths      uint64  `json:"sink_paths_mod64"`
+	Match          bool    `json:"match"`
+	SerialMillis   float64 `json:"serial_ms"`
+	ParallelMillis float64 `json:"parallel_ms"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// Run is one run's snapshot as returned by the API.
+type Run struct {
+	ID    string  `json:"id"`
+	Spec  RunSpec `json:"spec"`
+	State State   `json:"state"`
+	// SpecRedacted means the server dropped the spec's explicit edge
+	// list from this terminal snapshot to bound retained memory; the
+	// spec no longer describes the executed graph and must not be
+	// resubmitted as-is.
+	SpecRedacted bool       `json:"spec_redacted,omitempty"`
+	Error        string     `json:"error,omitempty"`
+	Result       *Result    `json:"result,omitempty"`
+	CreatedAt    time.Time  `json:"created_at"`
+	StartedAt    *time.Time `json:"started_at,omitempty"`
+	FinishedAt   *time.Time `json:"finished_at,omitempty"`
+}
+
+// RunList is one page of GET /v1/runs. NextCursor is empty on the last
+// page; otherwise pass it back as ?cursor= to continue.
+type RunList struct {
+	Runs       []Run  `json:"runs"`
+	Count      int    `json:"count"`
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// WorkloadList is the GET /v1/workloads response.
+type WorkloadList struct {
+	Workloads []string `json:"workloads"`
+	Count     int      `json:"count"`
+	Default   string   `json:"default"`
+}
