@@ -1,13 +1,18 @@
 // Command dagd is the long-running DAG execution service: it accepts run
 // specs over a JSON HTTP API, executes them concurrently through the
 // work-stealing scheduler, and tracks each run's lifecycle
-// (queued → running → succeeded|failed|cancelled) in an in-memory store.
+// (queued → running → succeeded|failed|cancelled) in a run store — in
+// memory by default, or durable with -data-dir, which logs every state
+// transition to a checksummed write-ahead log and recovers it on boot:
+// finished runs are restored as history and interrupted runs re-execute.
 // Each spec may name any registered workload (pathcount, hashchain,
 // longestpath, ...); specs that name none get the -workload default.
 //
 // Usage:
 //
 //	dagd -addr :8080 -queue 256 -dispatchers 4
+//	dagd -data-dir /var/lib/dagd            # survive restarts
+//	dagd -data-dir /var/lib/dagd -fsync     # survive power loss too
 //	dagd -workload hashchain
 //
 // Submit and poll with curl (or use the typed client in pkg/client):
@@ -31,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,6 +55,9 @@ func main() {
 		runWorkers   = flag.Int("run-workers", 0, "default scheduler pool size per run (0 = NumCPU)")
 		workload     = flag.String("workload", "", "default workload for specs that name none (empty = "+core.DefaultWorkload+")")
 		retainRuns   = flag.Int("retain", 0, "terminal runs to keep, oldest evicted first (0 = 4096, negative = unlimited)")
+		dataDir      = flag.String("data-dir", "", "directory for the durable run WAL; empty = in-memory store (state lost on restart)")
+		fsync        = flag.Bool("fsync", false, "fsync the WAL after every record (needs -data-dir); off = durable against crash, not power loss")
+		compactEvery = flag.Int("compact-threshold", 0, "WAL records between compactions into a snapshot file (0 = 4096, negative = never; needs -data-dir)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight runs on shutdown")
 	)
 	flag.Parse()
@@ -60,15 +69,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dagd:", err)
 		os.Exit(2)
 	}
-	svc := core.NewService(core.ServiceOptions{
+	if *dataDir == "" && (*fsync || *compactEvery != 0) {
+		fmt.Fprintln(os.Stderr, "dagd: -fsync and -compact-threshold require -data-dir")
+		os.Exit(2)
+	}
+	svc, err := core.NewService(core.ServiceOptions{
 		QueueDepth:        *queueDepth,
 		Dispatchers:       *dispatchers,
 		DefaultRunWorkers: *runWorkers,
 		DefaultWorkload:   *workload,
 		RetainRuns:        *retainRuns,
+		DataDir:           *dataDir,
+		Fsync:             *fsync,
+		CompactThreshold:  *compactEvery,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dagd:", err)
+		os.Exit(1)
+	}
+	if *dataDir != "" {
+		log.Printf("dagd: durable store at %s (%d runs restored, %d interrupted runs re-admitted)",
+			*dataDir, svc.Stats().Runs, svc.Recovered())
+	}
 	srv := server.New(svc)
-	err := srv.ListenAndServe(ctx, *addr, *drainTimeout)
+	err = srv.ListenAndServe(ctx, *addr, *drainTimeout)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "dagd:", err)
 		os.Exit(1)

@@ -1,0 +1,331 @@
+// Package e2e black-box tests a real dagd binary over its public surfaces
+// only: the compiled command, its flags, and pkg/client. The tests here
+// cover what in-process tests cannot — a SIGKILL'd process and a cold
+// restart from the same -data-dir.
+package e2e
+
+import (
+	"bufio"
+	"context"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/pkg/api"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/pkg/client"
+)
+
+// buildDagd compiles the dagd binary once per test run.
+func buildDagd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dagd")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/dagd")
+	cmd.Dir = ".." // module root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building dagd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// dagdProc is one live dagd process plus the client bound to it.
+type dagdProc struct {
+	cmd  *exec.Cmd
+	base string
+	c    *client.Client
+}
+
+// startDagd launches dagd on an ephemeral port with the given data dir and
+// waits until its API answers. The process is force-killed at test cleanup
+// if the test didn't stop it first.
+func startDagd(t *testing.T, bin, dataDir string, extraArgs ...string) *dagdProc {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-dispatchers", "1",
+		"-queue", "64",
+		"-drain-timeout", "5s",
+	}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting dagd: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	// dagd logs "dagd: listening on 127.0.0.1:<port>" once bound; scan for
+	// it, then keep draining stderr so the child never blocks on the pipe.
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addrc <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("dagd never reported its listen address")
+	}
+
+	c := client.New(base, client.WithWaitSlice(200*time.Millisecond))
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := c.Workloads(context.Background()); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dagd API never became reachable")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return &dagdProc{cmd: cmd, base: base, c: c}
+}
+
+// sigkill hard-kills the process — no drain, no WAL close — and reaps it.
+func (p *dagdProc) sigkill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	p.cmd.Wait()
+}
+
+// stop shuts the process down gracefully via SIGTERM.
+func (p *dagdProc) stop(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := p.cmd.Wait(); err != nil {
+		t.Fatalf("dagd exited uncleanly after SIGTERM: %v", err)
+	}
+}
+
+// waitState polls until the run reaches want (a non-terminal observation
+// target, so it cannot use the long-poll, which parks until terminal).
+func waitState(t *testing.T, c *client.Client, id string, want api.State) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := c.Get(context.Background(), id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if r.State == want {
+			return
+		}
+		if r.State.Terminal() {
+			t.Fatalf("run %s reached terminal %s while waiting for %s", id, r.State, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %s stuck in %s, want %s", id, r.State, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+var diamond = []api.Edge{{0, 1}, {0, 2}, {1, 3}, {2, 3}}
+
+// slowSpec runs for a second or two on one dispatcher — long enough that a
+// SIGKILL issued right after observing it running always lands mid-flight.
+func slowSpec() api.RunSpec {
+	return api.RunSpec{Shape: api.ShapePipeline, Stages: 30000, Width: 4, Work: 2500, Workers: 2}
+}
+
+// TestCrashRecovery is the acceptance test for the durable store: SIGKILL
+// dagd with runs finished, running, and queued, restart it on the same
+// data dir, and require that (a) terminal runs are preserved exactly and
+// (b) interrupted runs are re-admitted and driven to completion.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e restart test builds and kills real processes")
+	}
+	bin := buildDagd(t)
+	dataDir := t.TempDir()
+	ctx := context.Background()
+
+	p1 := startDagd(t, bin, dataDir)
+
+	// Two fast runs driven to completion before the crash: one explicit,
+	// one generated, per the durability contract for terminal history.
+	expl, err := p1.c.SubmitExplicit(ctx, 4, diamond, client.SubmitOptions{Workload: "hashchain"})
+	if err != nil {
+		t.Fatalf("SubmitExplicit: %v", err)
+	}
+	genr, err := p1.c.Submit(ctx, api.RunSpec{Shape: api.ShapePipeline, Stages: 20, Width: 3})
+	if err != nil {
+		t.Fatalf("Submit(pipeline): %v", err)
+	}
+	for _, id := range []string{expl.ID, genr.ID} {
+		wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+		r, err := p1.c.Wait(wctx, id)
+		cancel()
+		if err != nil || r.State != api.StateSucceeded {
+			t.Fatalf("pre-crash run %s = %v, %v; want succeeded", id, r, err)
+		}
+	}
+	explDone, err := p1.c.Get(ctx, expl.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One slow run observed mid-execution, plus two queued behind it
+	// (the single dispatcher is busy), then pull the plug.
+	slow, err := p1.c.Submit(ctx, slowSpec())
+	if err != nil {
+		t.Fatalf("Submit(slow): %v", err)
+	}
+	waitState(t, p1.c, slow.ID, api.StateRunning)
+	q1, err := p1.c.SubmitExplicit(ctx, 4, diamond, client.SubmitOptions{})
+	if err != nil {
+		t.Fatalf("SubmitExplicit(queued): %v", err)
+	}
+	q2, err := p1.c.Submit(ctx, api.RunSpec{Shape: api.ShapeRandom, Nodes: 200, EdgeProb: 0.03, Seed: 11})
+	if err != nil {
+		t.Fatalf("Submit(queued random): %v", err)
+	}
+	p1.sigkill(t)
+
+	// Restart on the same data dir.
+	p2 := startDagd(t, bin, dataDir)
+
+	// (a) Terminal history survived, results and all.
+	for _, id := range []string{expl.ID, genr.ID} {
+		r, err := p2.c.Get(ctx, id)
+		if err != nil {
+			t.Fatalf("Get(%s) after restart: %v", id, err)
+		}
+		if r.State != api.StateSucceeded || r.Result == nil || !r.Result.Match {
+			t.Fatalf("terminal run %s degraded across restart: %+v", id, r)
+		}
+		if r.Restarts != 0 {
+			t.Errorf("terminal run %s has Restarts = %d, want 0", id, r.Restarts)
+		}
+	}
+	r, err := p2.c.Get(ctx, expl.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Result.SinkPaths != explDone.Result.SinkPaths {
+		t.Errorf("explicit run result drifted: sink paths %d != %d", r.Result.SinkPaths, explDone.Result.SinkPaths)
+	}
+	if !r.CreatedAt.Equal(explDone.CreatedAt) {
+		t.Errorf("explicit run CreatedAt drifted across restart")
+	}
+
+	// (b) Interrupted runs were re-admitted and run to completion.
+	for _, interrupted := range []*api.Run{slow, q1, q2} {
+		got, err := p2.c.Get(ctx, interrupted.ID)
+		if err != nil {
+			t.Fatalf("Get(interrupted %s): %v", interrupted.ID, err)
+		}
+		if got.Restarts < 1 {
+			t.Errorf("interrupted run %s has Restarts = %d, want >= 1", interrupted.ID, got.Restarts)
+		}
+		wctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+		fin, err := p2.c.Wait(wctx, interrupted.ID)
+		cancel()
+		if err != nil {
+			t.Fatalf("Wait(interrupted %s): %v", interrupted.ID, err)
+		}
+		if fin.State != api.StateSucceeded || fin.Result == nil || !fin.Result.Match {
+			t.Fatalf("interrupted run %s finished as %+v, want succeeded with matching result", interrupted.ID, fin)
+		}
+	}
+
+	// The full listing reads coherently from the recovered store: all five
+	// runs, paginated walk equal to the one-shot list.
+	all, err := p2.c.List(ctx, client.ListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Count != 5 {
+		t.Fatalf("List after recovery has %d runs, want 5", all.Count)
+	}
+	var walked []string
+	cursor := ""
+	for {
+		page, err := p2.c.List(ctx, client.ListOptions{Limit: 2, Cursor: cursor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range page.Runs {
+			walked = append(walked, r.ID)
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(walked) != len(all.Runs) {
+		t.Fatalf("paginated walk visited %d runs, List has %d", len(walked), len(all.Runs))
+	}
+	for i, r := range all.Runs {
+		if walked[i] != r.ID {
+			t.Fatalf("paginated walk diverged from List at %d", i)
+		}
+	}
+
+	// Graceful shutdown this time, then a third boot: everything must now
+	// be terminal history, with nothing left to recover.
+	p2.stop(t)
+	p3 := startDagd(t, bin, dataDir)
+	for _, id := range []string{expl.ID, genr.ID, slow.ID, q1.ID, q2.ID} {
+		r, err := p3.c.Get(ctx, id)
+		if err != nil || r.State != api.StateSucceeded {
+			t.Fatalf("run %s after clean restart = %+v, %v; want succeeded", id, r, err)
+		}
+	}
+	p3.stop(t)
+}
+
+// TestRestartPreservesFsync runs a minimal durability pass with -fsync on,
+// covering the flag plumbing end to end.
+func TestRestartPreservesFsync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e restart test builds and kills real processes")
+	}
+	bin := buildDagd(t)
+	dataDir := t.TempDir()
+	ctx := context.Background()
+
+	p1 := startDagd(t, bin, dataDir, "-fsync", "-compact-threshold", "8")
+	r, err := p1.c.SubmitExplicit(ctx, 4, diamond, client.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	fin, err := p1.c.Wait(wctx, r.ID)
+	cancel()
+	if err != nil || fin.State != api.StateSucceeded {
+		t.Fatalf("fsync run = %v, %v; want succeeded", fin, err)
+	}
+	p1.sigkill(t)
+
+	p2 := startDagd(t, bin, dataDir, "-fsync", "-compact-threshold", "8")
+	got, err := p2.c.Get(ctx, r.ID)
+	if err != nil || got.State != api.StateSucceeded {
+		t.Fatalf("fsync'd run after SIGKILL = %+v, %v; want succeeded", got, err)
+	}
+	p2.stop(t)
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dispatch"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/store/wal"
 )
 
 // Run-service re-exports, so service callers (internal/server, cmd/dagd)
@@ -14,6 +15,7 @@ type (
 	RunState  = run.State
 	RunResult = run.Result
 	RunInfo   = run.Run
+	RunStore  = run.Store
 )
 
 // Run lifecycle states.
@@ -39,6 +41,16 @@ var (
 // ParseRunState converts a state name ("queued", "running", ...) to a RunState.
 func ParseRunState(name string) (RunState, error) { return run.ParseState(name) }
 
+// CompareRuns is the shared (CreatedAt, ID) run comparator — the order
+// List returns and pagination cursors walk. Re-exported for the API layer.
+func CompareRuns(a, b RunInfo) int { return run.CompareRuns(a, b) }
+
+// CompareRunToCursor compares a run's pagination position to a decoded
+// (UnixNano, ID) cursor in the same order as CompareRuns.
+func CompareRunToCursor(r RunInfo, nanos int64, id string) int {
+	return run.CompareToCursor(r, nanos, id)
+}
+
 // ExecuteRun performs one run end to end (generate → serial reference →
 // parallel scheduler → self-check) outside any service — the one-shot path
 // dagbench uses, identical to what dagd dispatchers execute.
@@ -61,6 +73,20 @@ type ServiceOptions struct {
 	// RetainRuns bounds how many terminal runs are kept, oldest-finished
 	// evicted first (0 = 4096, negative = unlimited).
 	RetainRuns int
+	// DataDir enables the durable WAL-backed run store rooted at this
+	// directory: every state transition is logged, and on the next boot
+	// terminal runs are restored as history while interrupted runs are
+	// re-admitted to the dispatcher. Empty keeps the in-memory store
+	// (a restart loses everything, as before).
+	DataDir string
+	// Fsync makes the WAL fsync every appended record (durability against
+	// power loss, at a per-transition disk cost). Only meaningful with
+	// DataDir set.
+	Fsync bool
+	// CompactThreshold is how many WAL records may accumulate before
+	// terminal runs are compacted into a snapshot file and old segments
+	// removed (0 = 4096, negative = never). Only meaningful with DataDir.
+	CompactThreshold int
 }
 
 // ServiceStats is a snapshot of service load for health reporting.
@@ -70,24 +96,45 @@ type ServiceStats struct {
 	QueueLen    int            `json:"queue_len"`
 	QueueDepth  int            `json:"queue_depth"`
 	Dispatchers int            `json:"dispatchers"`
+	// Recovered is how many interrupted runs were re-admitted to the queue
+	// when this process booted from an existing data dir.
+	Recovered int `json:"recovered,omitempty"`
 }
 
-// Service is the long-running run-execution facade: an in-memory run store
-// plus a dispatcher pool executing submitted specs through the scheduler.
-// It is what dagd serves over HTTP.
+// Service is the long-running run-execution facade: a run store (in-memory,
+// or WAL-backed when ServiceOptions.DataDir is set) plus a dispatcher pool
+// executing submitted specs through the scheduler. It is what dagd serves
+// over HTTP.
 type Service struct {
-	store           *run.Store
+	store           run.Store
 	disp            *dispatch.Dispatcher
 	defaultWorkload string
+	recovered       int
 }
 
-// NewService builds a Service and starts its dispatcher pool. Callers must
-// eventually call Shutdown.
-func NewService(opts ServiceOptions) *Service {
+// NewService builds a Service and starts its dispatcher pool; with a
+// DataDir it first replays the WAL, restoring history and re-admitting
+// interrupted runs. Callers must eventually call Shutdown, which also
+// closes the store. It fails only when the data dir cannot be opened or
+// its log chain is corrupt.
+func NewService(opts ServiceOptions) (*Service, error) {
 	if opts.DefaultWorkload == "" {
 		opts.DefaultWorkload = DefaultWorkload
 	}
-	store := run.NewStore()
+	var store run.Store
+	var recovered []run.Run
+	if opts.DataDir != "" {
+		ws, rec, err := wal.Open(opts.DataDir, wal.Options{
+			Fsync:            opts.Fsync,
+			CompactThreshold: opts.CompactThreshold,
+		})
+		if err != nil {
+			return nil, err
+		}
+		store, recovered = ws, rec
+	} else {
+		store = run.NewMemStore()
+	}
 	disp := dispatch.New(store, dispatch.Options{
 		QueueDepth:        opts.QueueDepth,
 		Dispatchers:       opts.Dispatchers,
@@ -95,12 +142,28 @@ func NewService(opts ServiceOptions) *Service {
 		DefaultWorkload:   opts.DefaultWorkload,
 		RetainRuns:        opts.RetainRuns,
 	})
-	return &Service{store: store, disp: disp, defaultWorkload: opts.DefaultWorkload}
+	if len(recovered) > 0 {
+		ids := make([]string, len(recovered))
+		for i, r := range recovered {
+			ids[i] = r.ID
+		}
+		disp.Recover(ids)
+	}
+	return &Service{
+		store:           store,
+		disp:            disp,
+		defaultWorkload: opts.DefaultWorkload,
+		recovered:       len(recovered),
+	}, nil
 }
 
 // DefaultWorkloadName reports which workload the service stamps onto specs
 // that name none (surfaced by GET /v1/workloads).
 func (s *Service) DefaultWorkloadName() string { return s.defaultWorkload }
+
+// Recovered reports how many interrupted runs this process re-admitted on
+// boot (always 0 for the in-memory store).
+func (s *Service) Recovered() int { return s.recovered }
 
 // Submit validates and enqueues a run, returning its queued snapshot.
 func (s *Service) Submit(spec RunSpec) (RunInfo, error) { return s.disp.Submit(spec) }
@@ -139,9 +202,18 @@ func (s *Service) Stats() ServiceStats {
 		QueueLen:    s.disp.QueueLen(),
 		QueueDepth:  s.disp.QueueDepth(),
 		Dispatchers: s.disp.Dispatchers(),
+		Recovered:   s.recovered,
 	}
 }
 
-// Shutdown stops accepting runs and drains the dispatcher pool; if ctx
-// expires first, in-flight runs are force-cancelled.
-func (s *Service) Shutdown(ctx context.Context) error { return s.disp.Shutdown(ctx) }
+// Shutdown stops accepting runs, drains the dispatcher pool (force-
+// cancelling in-flight runs if ctx expires first), then closes the store so
+// a WAL backend seals its active segment. The dispatcher error wins when
+// both fail.
+func (s *Service) Shutdown(ctx context.Context) error {
+	err := s.disp.Shutdown(ctx)
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -10,7 +10,10 @@ import (
 // TestServiceLifecycle drives the run service through the core facade:
 // submit → poll → result, cancel semantics, stats, shutdown.
 func TestServiceLifecycle(t *testing.T) {
-	svc := NewService(ServiceOptions{QueueDepth: 4, Dispatchers: 2})
+	svc, err := NewService(ServiceOptions{QueueDepth: 4, Dispatchers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	r, err := svc.Submit(RunSpec{Config: GenConfig{Shape: PipelineShape, Stages: 30, Width: 3}})
 	if err != nil {
 		t.Fatal(err)

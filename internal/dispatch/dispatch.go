@@ -15,6 +15,7 @@ package dispatch
 import (
 	"context"
 	"errors"
+	"log"
 	"runtime"
 	"sync"
 
@@ -69,7 +70,7 @@ func (o Options) withDefaults() Options {
 
 // Dispatcher owns the bounded run queue and the goroutine pool draining it.
 type Dispatcher struct {
-	store *run.Store
+	store run.Store
 	opts  Options
 
 	// baseCtx parents every run's context; force-cancelling it aborts all
@@ -85,9 +86,10 @@ type Dispatcher struct {
 	closed bool
 }
 
-// New creates a Dispatcher recording into store and starts its goroutine
-// pool. Callers must eventually call Shutdown.
-func New(store *run.Store, opts Options) *Dispatcher {
+// New creates a Dispatcher recording into store (any run.Store — in-memory
+// or WAL-backed) and starts its goroutine pool. Callers must eventually
+// call Shutdown.
+func New(store run.Store, opts Options) *Dispatcher {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	d := &Dispatcher{
@@ -146,10 +148,32 @@ func (d *Dispatcher) Submit(spec run.Spec) (run.Run, error) {
 	if len(d.queue) >= d.opts.QueueDepth {
 		return run.Run{}, ErrQueueFull
 	}
-	r := d.store.Create(spec)
+	r, err := d.store.Create(spec)
+	if err != nil {
+		// Durable stores refuse to admit a run they could not log; surface
+		// the failure instead of accepting work that a restart would lose.
+		return run.Run{}, err
+	}
 	d.queue = append(d.queue, r.ID)
 	d.cond.Signal()
 	return r, nil
+}
+
+// Recover enqueues runs that already exist in the store as queued — the
+// interrupted runs a durable store re-admitted during crash recovery. It
+// deliberately ignores QueueDepth: recovered work was admitted before the
+// restart, and dropping it now would turn a crash into silent data loss.
+// The transient over-depth backlog drains like any other. Returns how many
+// runs were enqueued (zero after Shutdown has begun).
+func (d *Dispatcher) Recover(ids []string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0
+	}
+	d.queue = append(d.queue, ids...)
+	d.cond.Broadcast()
+	return len(ids)
 }
 
 // Cancel requests cancellation of the identified run (see run.Store.Cancel
@@ -234,11 +258,24 @@ func (d *Dispatcher) execute(id string) {
 
 	r, err := d.store.Begin(id, cancel)
 	if err != nil {
-		// Cancelled while queued and popped before Cancel could unlink it.
-		return
+		if errors.Is(err, run.ErrNotQueued) || errors.Is(err, run.ErrNotFound) {
+			// Cancelled while queued and popped before Cancel could unlink
+			// it (or rolled back): the run never became ours to execute.
+			return
+		}
+		// Anything else is a durable-store append failure — the in-memory
+		// queued→running transition stood (see wal.Store.Begin), so
+		// abandoning the run here would strand it in running forever, with
+		// every Await parked on it. Execute it; only its begin record may
+		// be missing from the log.
+		log.Printf("dispatch: recording begin of %s: %v (executing anyway)", id, err)
 	}
 
 	res, err := run.Execute(ctx, r.Spec, d.opts.DefaultRunWorkers)
-	d.store.Finish(id, res, err)
+	if _, ferr := d.store.Finish(id, res, err); ferr != nil && !errors.Is(ferr, run.ErrNotRunning) {
+		// A WAL append failure: the outcome is recorded in memory but may
+		// not survive a restart. Nothing the dispatcher can do beyond log.
+		log.Printf("dispatch: recording finish of %s: %v", id, ferr)
+	}
 	d.store.EvictTerminal(d.opts.RetainRuns)
 }

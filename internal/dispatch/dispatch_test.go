@@ -10,9 +10,9 @@ import (
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
 )
 
-func newDispatcher(t *testing.T, opts Options) (*run.Store, *Dispatcher) {
+func newDispatcher(t *testing.T, opts Options) (run.Store, *Dispatcher) {
 	t.Helper()
-	store := run.NewStore()
+	store := run.NewMemStore()
 	d := New(store, opts)
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -23,7 +23,7 @@ func newDispatcher(t *testing.T, opts Options) (*run.Store, *Dispatcher) {
 }
 
 // waitForState polls until the run reaches want or the deadline passes.
-func waitForState(t *testing.T, store *run.Store, id string, want run.State) run.Run {
+func waitForState(t *testing.T, store run.Store, id string, want run.State) run.Run {
 	t.Helper()
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
@@ -252,7 +252,7 @@ func TestTerminalRunRetention(t *testing.T) {
 }
 
 func TestShutdownDrains(t *testing.T) {
-	store := run.NewStore()
+	store := run.NewMemStore()
 	d := New(store, Options{QueueDepth: 8, Dispatchers: 2})
 	var ids []string
 	for i := 0; i < 4; i++ {
@@ -292,7 +292,7 @@ func TestShutdownDrains(t *testing.T) {
 }
 
 func TestShutdownForceCancelsOnDeadline(t *testing.T) {
-	store := run.NewStore()
+	store := run.NewMemStore()
 	d := New(store, Options{QueueDepth: 4, Dispatchers: 1})
 	r, err := d.Submit(pipelineSpec(40000, 4, 5000))
 	if err != nil {
@@ -310,5 +310,42 @@ func TestShutdownForceCancelsOnDeadline(t *testing.T) {
 	}
 	if got.State != run.StateCancelled {
 		t.Errorf("force-cancelled run state = %s, want cancelled", got.State)
+	}
+}
+
+// beginDegradedStore mimics a WAL store whose disk fails the Begin append:
+// per the run.Store contract the queued→running transition stands in
+// memory, but the call reports an error.
+type beginDegradedStore struct {
+	run.Store
+}
+
+func (s *beginDegradedStore) Begin(id string, cancel context.CancelFunc) (run.Run, error) {
+	r, err := s.Store.Begin(id, cancel)
+	if err != nil {
+		return r, err
+	}
+	return r, errors.New("wal: appending record: disk full")
+}
+
+// TestExecuteSurvivesBeginLogFailure pins that a durability error from
+// Begin does not strand the run: the transition stood, so the dispatcher
+// must execute it to a terminal state rather than abandoning it in
+// running forever (where every Await would park until timeout).
+func TestExecuteSurvivesBeginLogFailure(t *testing.T) {
+	store := &beginDegradedStore{Store: run.NewMemStore()}
+	d := New(store, Options{QueueDepth: 4, Dispatchers: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+	})
+	r, err := d.Submit(pipelineSpec(10, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitForState(t, store, r.ID, run.StateSucceeded)
+	if got.Result == nil || !got.Result.Match {
+		t.Fatalf("run finished without a matching result: %+v", got)
 	}
 }

@@ -1,0 +1,20 @@
+package run_test
+
+import (
+	"testing"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/storetest"
+)
+
+// TestStoreConformance runs the shared store conformance suite against the
+// in-memory backend. The WAL backend runs the identical suite from
+// internal/store/wal, which is what keeps the two implementations
+// observably interchangeable.
+func TestStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) run.Store {
+		s := run.NewMemStore()
+		t.Cleanup(func() { s.Close() })
+		return s
+	})
+}

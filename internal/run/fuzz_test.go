@@ -1,0 +1,84 @@
+package run_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+)
+
+// FuzzSpecValidate feeds raw JSON documents through the exact decode path
+// the POST /v1/runs handler uses and pins two invariants:
+//
+//  1. Validate never panics, whatever the decoded spec looks like.
+//  2. Any spec Validate accepts can actually be built into a DAG — the
+//     admission contract the dispatcher relies on to never see an
+//     ungeneratable spec.
+//
+// Generation is skipped (not failed) for accepted specs above a size
+// ceiling: building million-node graphs per fuzz iteration would turn the
+// fuzzer into a memory benchmark without sharpening either invariant.
+func FuzzSpecValidate(f *testing.F) {
+	seeds := []string{
+		`{"shape":"random","nodes":100,"p":0.1,"seed":7}`,
+		`{"shape":"pipeline","stages":10,"width":3,"work":5}`,
+		`{"shape":"explicit","nodes":4,"edges":[[0,1],[0,2],[1,3],[2,3]]}`,
+		`{"shape":"explicit","nodes":3,"edges":[[0,1],[1,2],[2,0]]}`, // cycle
+		`{"shape":"explicit","nodes":2,"edges":[[0,1],[0,1]]}`,       // duplicate
+		`{"shape":"explicit","nodes":2,"edges":[[1,1]]}`,             // self-loop
+		`{"shape":"explicit","nodes":2,"edges":[[0,9]]}`,             // out of range
+		`{"shape":"explicit","nodes":1,"edges":[]}`,
+		`{"shape":"random","nodes":-1}`,
+		`{"shape":"random","nodes":1048577}`,
+		`{"shape":"random","nodes":1000000,"p":1}`,
+		`{"shape":"pipeline","stages":0,"width":0}`,
+		`{"shape":"bogus"}`,
+		`{"shape":"pipeline","stages":2,"width":2,"workload":"hashchain"}`,
+		`{"shape":"pipeline","stages":2,"width":2,"workload":"nope"}`,
+		`{"shape":"pipeline","stages":2,"width":2,"work":-5,"workers":99999}`,
+		`{"shape":"random","nodes":10,"p":0.5,"edges":[[0,1]]}`, // edges on generated shape
+		`{}`,
+		`null`,
+		`[1,2,3]`,
+		`{"shape":"explicit","nodes":2,"edges":[[0]]}`,     // 1-element edge
+		`{"shape":"explicit","nodes":2,"edges":[[0,1,2]]}`, // 3-element edge
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec run.Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return // not a spec; decoding rejected it before Validate would run
+		}
+		if err := spec.Validate(); err != nil {
+			return // rejection is always a legal outcome
+		}
+		// Accepted: the spec must build, unless it is too large to build
+		// cheaply inside a fuzz iteration.
+		const buildCeiling = 1 << 14
+		switch spec.Shape {
+		case gen.Random:
+			if spec.Nodes > buildCeiling ||
+				spec.EdgeProb*float64(spec.Nodes)*float64(spec.Nodes-1)/2 > buildCeiling {
+				t.Skip("accepted but too large to build per-iteration")
+			}
+		case gen.Pipeline:
+			if spec.Stages*spec.Width > buildCeiling {
+				t.Skip("accepted but too large to build per-iteration")
+			}
+		case gen.Explicit:
+			if spec.Nodes > buildCeiling || len(spec.Edges) > buildCeiling {
+				t.Skip("accepted but too large to build per-iteration")
+			}
+		}
+		d, err := gen.Generate(spec.Config)
+		if err != nil {
+			t.Fatalf("Validate accepted a spec Generate rejects: %v\nspec: %s", err, data)
+		}
+		if d.NumNodes() == 0 {
+			t.Fatalf("accepted spec built an empty DAG\nspec: %s", data)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 // Package run models the lifecycle of one DAG execution request inside the
-// dagd service and provides an in-memory, mutex-sharded store for tracking
-// many of them concurrently.
+// dagd service and defines the Store abstraction for tracking many of them
+// concurrently, with an in-memory, mutex-sharded implementation (MemStore).
+// A durable, WAL-backed implementation lives in internal/store/wal.
 //
 // A run moves through the states
 //
@@ -10,6 +11,11 @@
 // straight to cancelled if the caller cancels it before a dispatcher picks
 // it up. All transitions are serialized per run by the store, so callers
 // never observe a half-applied transition.
+//
+// One additional transition exists only across process restarts: a run that
+// was queued or running when a WAL-backed dagd crashed is re-admitted as
+// queued on the next boot (interrupted → queued), with Run.Restarts counting
+// how many times that happened.
 package run
 
 import (
@@ -204,12 +210,17 @@ type Run struct {
 	// SpecRedacted is set when the terminal snapshot dropped the spec's
 	// explicit edge list to bound retained memory; the spec no longer
 	// describes the executed graph and must not be resubmitted as-is.
-	SpecRedacted bool       `json:"spec_redacted,omitempty"`
-	Error        string     `json:"error,omitempty"`
-	Result       *Result    `json:"result,omitempty"`
-	CreatedAt    time.Time  `json:"created_at"`
-	StartedAt    *time.Time `json:"started_at,omitempty"`
-	FinishedAt   *time.Time `json:"finished_at,omitempty"`
+	SpecRedacted bool `json:"spec_redacted,omitempty"`
+	// Restarts counts how many times this run was re-admitted to the queue
+	// after a service restart interrupted it (the interrupted → queued
+	// recovery transition of the WAL-backed store). It is 0 for runs that
+	// executed within a single process lifetime.
+	Restarts   int        `json:"restarts,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	Result     *Result    `json:"result,omitempty"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
 }
 
 // Store errors.

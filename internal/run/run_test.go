@@ -20,6 +20,15 @@ func pipelineSpec() Spec {
 	return Spec{Config: gen.Config{Shape: gen.Pipeline, Stages: 10, Width: 2}}
 }
 
+func mustCreate(t *testing.T, s Store, spec Spec) Run {
+	t.Helper()
+	r, err := s.Create(spec)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return r
+}
+
 func TestSpecValidate(t *testing.T) {
 	cases := []struct {
 		name string
@@ -148,8 +157,8 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 }
 
 func TestLifecycleHappyPath(t *testing.T) {
-	s := NewStore()
-	r := s.Create(pipelineSpec())
+	s := NewMemStore()
+	r := mustCreate(t, s, pipelineSpec())
 	if r.State != StateQueued || r.ID == "" || r.CreatedAt.IsZero() {
 		t.Fatalf("Create = %+v, want queued with ID and CreatedAt", r)
 	}
@@ -176,8 +185,8 @@ func TestLifecycleHappyPath(t *testing.T) {
 }
 
 func TestFinishError(t *testing.T) {
-	s := NewStore()
-	r := s.Create(pipelineSpec())
+	s := NewMemStore()
+	r := mustCreate(t, s, pipelineSpec())
 	if _, err := s.Begin(r.ID, func() {}); err != nil {
 		t.Fatal(err)
 	}
@@ -191,8 +200,8 @@ func TestFinishError(t *testing.T) {
 }
 
 func TestFinishCancelled(t *testing.T) {
-	s := NewStore()
-	r := s.Create(pipelineSpec())
+	s := NewMemStore()
+	r := mustCreate(t, s, pipelineSpec())
 	if _, err := s.Begin(r.ID, func() {}); err != nil {
 		t.Fatal(err)
 	}
@@ -206,8 +215,8 @@ func TestFinishCancelled(t *testing.T) {
 }
 
 func TestCancelQueued(t *testing.T) {
-	s := NewStore()
-	r := s.Create(pipelineSpec())
+	s := NewMemStore()
+	r := mustCreate(t, s, pipelineSpec())
 	c, err := s.Cancel(r.ID)
 	if err != nil {
 		t.Fatal(err)
@@ -226,8 +235,8 @@ func TestCancelQueued(t *testing.T) {
 }
 
 func TestCancelRunningInvokesHook(t *testing.T) {
-	s := NewStore()
-	r := s.Create(pipelineSpec())
+	s := NewMemStore()
+	r := mustCreate(t, s, pipelineSpec())
 	fired := false
 	if _, err := s.Begin(r.ID, func() { fired = true }); err != nil {
 		t.Fatal(err)
@@ -253,13 +262,13 @@ func TestCancelRunningInvokesHook(t *testing.T) {
 }
 
 func TestGetAndListAndDelete(t *testing.T) {
-	s := NewStore()
+	s := NewMemStore()
 	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get(missing) = %v, want ErrNotFound", err)
 	}
 	var ids []string
 	for i := 0; i < 10; i++ {
-		ids = append(ids, s.Create(pipelineSpec()).ID)
+		ids = append(ids, mustCreate(t, s, pipelineSpec()).ID)
 	}
 	if got := s.Len(); got != 10 {
 		t.Fatalf("Len = %d, want 10", got)
@@ -300,9 +309,9 @@ func TestGetAndListAndDelete(t *testing.T) {
 // from the Begin snapshot).
 func TestTerminalSnapshotDropsEdges(t *testing.T) {
 	explicit := Spec{Config: gen.Config{Shape: gen.Explicit, Nodes: 3, Edges: []gen.Edge{{0, 1}, {1, 2}}}}
-	s := NewStore()
+	s := NewMemStore()
 
-	r := s.Create(explicit)
+	r := mustCreate(t, s, explicit)
 	began, err := s.Begin(r.ID, func() {})
 	if err != nil {
 		t.Fatal(err)
@@ -324,7 +333,7 @@ func TestTerminalSnapshotDropsEdges(t *testing.T) {
 		t.Error("finished run with dropped edges not marked SpecRedacted")
 	}
 
-	q := s.Create(explicit)
+	q := mustCreate(t, s, explicit)
 	if _, err := s.Cancel(q.ID); err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +349,7 @@ func TestTerminalSnapshotDropsEdges(t *testing.T) {
 	}
 
 	// Runs that never carried an edge list are not marked redacted.
-	p := s.Create(pipelineSpec())
+	p := mustCreate(t, s, pipelineSpec())
 	if _, err := s.Cancel(p.ID); err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +366,10 @@ func TestTerminalSnapshotDropsEdges(t *testing.T) {
 // times only, so the API layer's UnixNano pagination cursors order runs
 // exactly as List does.
 func TestCreatedAtHasNoMonotonicClock(t *testing.T) {
-	r := NewStore().Create(pipelineSpec())
+	r, err := NewMemStore().Create(pipelineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// A time with a monotonic reading prints it as "m=+...": Round(0)
 	// must have stripped it.
 	if s := r.CreatedAt.String(); strings.Contains(s, " m=") {
@@ -366,13 +378,13 @@ func TestCreatedAtHasNoMonotonicClock(t *testing.T) {
 }
 
 func TestAwait(t *testing.T) {
-	s := NewStore()
+	s := NewMemStore()
 	if _, err := s.Await(context.Background(), "nope"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Await(missing) = %v, want ErrNotFound", err)
 	}
 
 	// Terminal runs return immediately, no blocking.
-	done := s.Create(pipelineSpec())
+	done := mustCreate(t, s, pipelineSpec())
 	if _, err := s.Begin(done.ID, func() {}); err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +397,7 @@ func TestAwait(t *testing.T) {
 	}
 
 	// A waiter parked on a running run is released by Finish.
-	live := s.Create(pipelineSpec())
+	live := mustCreate(t, s, pipelineSpec())
 	if _, err := s.Begin(live.ID, func() {}); err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +423,7 @@ func TestAwait(t *testing.T) {
 	}
 
 	// A ctx timeout returns the current (non-terminal) snapshot.
-	waiting := s.Create(pipelineSpec())
+	waiting := mustCreate(t, s, pipelineSpec())
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	r, err = s.Await(ctx, waiting.ID)
@@ -420,7 +432,7 @@ func TestAwait(t *testing.T) {
 	}
 
 	// Cancelling a queued run releases waiters too.
-	q := s.Create(pipelineSpec())
+	q := mustCreate(t, s, pipelineSpec())
 	go func() {
 		time.Sleep(10 * time.Millisecond)
 		s.Cancel(q.ID)
@@ -432,8 +444,8 @@ func TestAwait(t *testing.T) {
 }
 
 func TestSnapshotIsolation(t *testing.T) {
-	s := NewStore()
-	r := s.Create(pipelineSpec())
+	s := NewMemStore()
+	r := mustCreate(t, s, pipelineSpec())
 	before, _ := s.Get(r.ID)
 	if _, err := s.Begin(r.ID, func() {}); err != nil {
 		t.Fatal(err)
@@ -446,7 +458,7 @@ func TestSnapshotIsolation(t *testing.T) {
 // TestConcurrentLifecycles hammers the store from many goroutines; run
 // with -race this validates the sharded locking.
 func TestConcurrentLifecycles(t *testing.T) {
-	s := NewStore()
+	s := NewMemStore()
 	const n = 200
 	var wg sync.WaitGroup
 	ids := make(chan string, n)
@@ -454,7 +466,12 @@ func TestConcurrentLifecycles(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r := s.Create(pipelineSpec())
+			// t.Fatal (via mustCreate) is not legal off the test goroutine.
+			r, err := s.Create(pipelineSpec())
+			if err != nil {
+				t.Error(err)
+				return
+			}
 			ids <- r.ID
 			if _, err := s.Begin(r.ID, func() {}); err != nil {
 				t.Error(err)
@@ -491,7 +508,7 @@ func TestConcurrentLifecycles(t *testing.T) {
 }
 
 func TestEvictTerminal(t *testing.T) {
-	s := NewStore()
+	s := NewMemStore()
 	finish := func(id string) {
 		if _, err := s.Begin(id, func() {}); err != nil {
 			t.Fatal(err)
@@ -502,12 +519,12 @@ func TestEvictTerminal(t *testing.T) {
 	}
 	var ids []string
 	for i := 0; i < 10; i++ {
-		id := s.Create(pipelineSpec()).ID
+		id := mustCreate(t, s, pipelineSpec()).ID
 		ids = append(ids, id)
 		finish(id)
 	}
-	queued := s.Create(pipelineSpec()).ID
-	running := s.Create(pipelineSpec()).ID
+	queued := mustCreate(t, s, pipelineSpec()).ID
+	running := mustCreate(t, s, pipelineSpec()).ID
 	if _, err := s.Begin(running, func() {}); err != nil {
 		t.Fatal(err)
 	}

@@ -8,22 +8,103 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// Store is the run-tracking abstraction every service layer wires against:
+// the dispatcher records lifecycle transitions through it and the API layer
+// reads snapshots from it. Two implementations exist — the in-memory
+// MemStore below and the WAL-backed store in internal/store/wal — and both
+// must satisfy the shared conformance suite in internal/storetest, so
+// list/pagination order, eviction, and Await semantics read identically
+// regardless of backend.
+//
+// Mutating methods return an error when the backend fails to record the
+// transition durably; the in-memory implementation never does.
+type Store interface {
+	// Create registers a new queued run for spec and returns its snapshot.
+	Create(spec Spec) (Run, error)
+	// Get returns a snapshot of the run with the given ID.
+	Get(id string) (Run, error)
+	// List returns snapshots of every run in (CreatedAt, ID) order — see
+	// CompareRuns, the one comparator pagination and eviction share.
+	List() []Run
+	// Len returns the total number of tracked runs.
+	Len() int
+	// CountByState returns how many runs are in each state.
+	CountByState() map[State]int
+	// Begin transitions a queued run to running and records the
+	// dispatcher's cancel hook.
+	Begin(id string, cancel context.CancelFunc) (Run, error)
+	// Finish transitions a running run to its terminal state.
+	Finish(id string, result *Result, err error) (Run, error)
+	// Cancel requests cancellation (queued → cancelled immediately;
+	// running → cancel hook invoked).
+	Cancel(id string) (Run, error)
+	// Await blocks until the run is terminal or ctx is done, returning the
+	// latest snapshot either way.
+	Await(ctx context.Context, id string) (Run, error)
+	// Delete removes a run entirely (submit-rollback path; see
+	// MemStore.Delete for the semantics).
+	Delete(id string) error
+	// EvictTerminal deletes the oldest-finished terminal runs so at most
+	// keep remain, returning how many were evicted.
+	EvictTerminal(keep int) int
+	// Close releases backend resources (file handles, buffers). The
+	// in-memory store's Close is a no-op.
+	Close() error
+}
+
+// CompareRuns is the single (CreatedAt, ID) comparator behind every place
+// runs are ordered: MemStore.List's sort, eviction tie-breaking, and the
+// API layer's pagination-cursor filter. It returns -1, 0, or +1. Keeping
+// one comparator (rather than hand-rolled comparisons per call site) is
+// what guarantees a cursor walk visits exactly the runs List would return —
+// the orders cannot drift apart.
+//
+// CreatedAt is compared as UnixNano because that is what pagination cursors
+// encode; Create strips monotonic readings (Round(0)) so the two clocks
+// agree.
+func CompareRuns(a, b Run) int {
+	return comparePosition(a.CreatedAt.UnixNano(), a.ID, b.CreatedAt.UnixNano(), b.ID)
+}
+
+// CompareToCursor compares r's pagination position to a decoded
+// (UnixNano, ID) cursor using the same order as CompareRuns. A run belongs
+// on pages after the cursor iff the result is > 0.
+func CompareToCursor(r Run, nanos int64, id string) int {
+	return comparePosition(r.CreatedAt.UnixNano(), r.ID, nanos, id)
+}
+
+func comparePosition(aNanos int64, aID string, bNanos int64, bID string) int {
+	switch {
+	case aNanos < bNanos:
+		return -1
+	case aNanos > bNanos:
+		return 1
+	}
+	return strings.Compare(aID, bID)
+}
 
 // numShards is the number of independent mutex-guarded maps the store
 // spreads runs across. IDs hash uniformly, so contention on any one shard
 // is ~1/numShards of a single-lock design under concurrent API traffic.
 const numShards = 16
 
-// Store is an in-memory, mutex-sharded run store. All methods are safe for
-// concurrent use and return snapshot copies, never live internal state.
-type Store struct {
+// MemStore is the in-memory, mutex-sharded Store implementation. All
+// methods are safe for concurrent use and return snapshot copies, never
+// live internal state. It is both the default backend (dagd without
+// -data-dir) and the in-memory half of the WAL-backed store, which replays
+// its log into a MemStore on boot via Restore.
+type MemStore struct {
 	shards [numShards]shard
 	seq    atomic.Uint64
 }
+
+var _ Store = (*MemStore)(nil)
 
 type shard struct {
 	mu   sync.RWMutex
@@ -40,25 +121,25 @@ type tracked struct {
 	done   chan struct{}
 }
 
-// NewStore returns an empty Store.
-func NewStore() *Store {
-	s := &Store{}
+// NewMemStore returns an empty MemStore.
+func NewMemStore() *MemStore {
+	s := &MemStore{}
 	for i := range s.shards {
 		s.shards[i].runs = make(map[string]*tracked)
 	}
 	return s
 }
 
-func (s *Store) shardFor(id string) *shard {
+func (s *MemStore) shardFor(id string) *shard {
 	h := fnv.New32a()
 	h.Write([]byte(id))
 	return &s.shards[h.Sum32()%numShards]
 }
 
 // newID returns a unique run ID: a monotonic sequence number (uniqueness)
-// plus random bytes (avoids accidental collisions across restarts of a
-// future persistent store).
-func (s *Store) newID() string {
+// plus random bytes (avoids accidental collisions with IDs recovered from a
+// previous process's WAL, whose sequence numbers restart from zero).
+func (s *MemStore) newID() string {
 	var b [4]byte
 	if _, err := crand.Read(b[:]); err != nil {
 		// crypto/rand never fails on supported platforms; the sequence
@@ -72,8 +153,10 @@ func (s *Store) newID() string {
 // CreatedAt is stripped of its monotonic reading (Round(0)) so that
 // List's sort order and the API layer's UnixNano-based pagination cursors
 // compare the same clock — otherwise a wall-clock step between creations
-// could make paginated walks silently skip runs.
-func (s *Store) Create(spec Spec) Run {
+// could make paginated walks silently skip runs. The error is always nil;
+// it exists for the Store interface, whose durable implementations can
+// fail here.
+func (s *MemStore) Create(spec Spec) (Run, error) {
 	r := Run{
 		ID:        s.newID(),
 		Spec:      spec,
@@ -84,7 +167,32 @@ func (s *Store) Create(spec Spec) Run {
 	sh.mu.Lock()
 	sh.runs[r.ID] = &tracked{run: r, done: make(chan struct{})}
 	sh.mu.Unlock()
-	return r
+	return r, nil
+}
+
+// Restore upserts a run snapshot exactly as given — ID, timestamps, state
+// and all. It exists for WAL replay: the durable store rebuilds its
+// in-memory state by restoring each surviving run on boot. Terminal
+// restores arrive with their done channel already closed so Await returns
+// immediately; restoring a terminal snapshot over a live entry releases
+// its waiters.
+func (s *MemStore) Restore(r Run) {
+	sh := s.shardFor(r.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t, ok := sh.runs[r.ID]
+	if !ok {
+		t = &tracked{done: make(chan struct{})}
+		sh.runs[r.ID] = t
+		// Keep the ID sequence moving so fresh Create IDs don't reuse the
+		// low sequence numbers restored runs already occupy (the random
+		// suffix would disambiguate, but distinct prefixes read better).
+		s.seq.Add(1)
+	}
+	if r.State.Terminal() && !t.run.State.Terminal() {
+		close(t.done)
+	}
+	t.run = r
 }
 
 // Delete removes a run entirely. It exists so a submitter can roll back a
@@ -93,7 +201,7 @@ func (s *Store) Create(spec Spec) Run {
 // run releases any Await waiters with the run's last (still non-terminal)
 // snapshot, so Delete must not be used on runs whose IDs callers may
 // already be watching.
-func (s *Store) Delete(id string) {
+func (s *MemStore) Delete(id string) error {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	if t, ok := sh.runs[id]; ok {
@@ -103,10 +211,11 @@ func (s *Store) Delete(id string) {
 		delete(sh.runs, id)
 	}
 	sh.mu.Unlock()
+	return nil
 }
 
 // Get returns a snapshot of the run with the given ID.
-func (s *Store) Get(id string) (Run, error) {
+func (s *MemStore) Get(id string) (Run, error) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -117,9 +226,9 @@ func (s *Store) Get(id string) (Run, error) {
 	return t.run, nil
 }
 
-// List returns snapshots of every run, oldest first (ties broken by ID so
-// the order is stable).
-func (s *Store) List() []Run {
+// List returns snapshots of every run in CompareRuns order: oldest first,
+// ties broken by ID so the order is stable.
+func (s *MemStore) List() []Run {
 	var out []Run
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -129,17 +238,12 @@ func (s *Store) List() []Run {
 		}
 		sh.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
-			return out[i].CreatedAt.Before(out[j].CreatedAt)
-		}
-		return out[i].ID < out[j].ID
-	})
+	sort.Slice(out, func(i, j int) bool { return CompareRuns(out[i], out[j]) < 0 })
 	return out
 }
 
 // Len returns the total number of tracked runs.
-func (s *Store) Len() int {
+func (s *MemStore) Len() int {
 	n := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -155,39 +259,49 @@ func (s *Store) Len() int {
 // are never touched. keep <= 0 is a no-op (unlimited retention). The
 // dispatcher calls this after each finish so a long-running dagd holds a
 // bounded history instead of growing without bound.
-func (s *Store) EvictTerminal(keep int) int {
+func (s *MemStore) EvictTerminal(keep int) int {
+	return len(s.EvictTerminalIDs(keep))
+}
+
+// EvictTerminalIDs is EvictTerminal returning the evicted IDs instead of a
+// count, so a durable wrapper can log a deletion record per evicted run.
+// Eviction order is (FinishedAt, CreatedAt, ID): oldest-finished first,
+// with ties broken by the same CompareRuns order pagination uses, so the
+// victim set is deterministic.
+func (s *MemStore) EvictTerminalIDs(keep int) []string {
 	if keep <= 0 {
-		return 0
+		return nil
 	}
-	type finished struct {
-		id string
-		at time.Time
-	}
-	var terminal []finished
+	var terminal []Run
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		for id, t := range sh.runs {
+		for _, t := range sh.runs {
 			if t.run.State.Terminal() && t.run.FinishedAt != nil {
-				terminal = append(terminal, finished{id, *t.run.FinishedAt})
+				terminal = append(terminal, t.run)
 			}
 		}
 		sh.mu.RUnlock()
 	}
 	excess := len(terminal) - keep
 	if excess <= 0 {
-		return 0
+		return nil
 	}
-	sort.Slice(terminal, func(i, j int) bool { return terminal[i].at.Before(terminal[j].at) })
-	evicted := 0
+	sort.Slice(terminal, func(i, j int) bool {
+		if !terminal[i].FinishedAt.Equal(*terminal[j].FinishedAt) {
+			return terminal[i].FinishedAt.Before(*terminal[j].FinishedAt)
+		}
+		return CompareRuns(terminal[i], terminal[j]) < 0
+	})
+	var evicted []string
 	for _, f := range terminal[:excess] {
-		sh := s.shardFor(f.id)
+		sh := s.shardFor(f.ID)
 		sh.mu.Lock()
 		// Re-check under the write lock: a concurrent evictor may have
 		// removed it already.
-		if t, ok := sh.runs[f.id]; ok && t.run.State.Terminal() {
-			delete(sh.runs, f.id)
-			evicted++
+		if t, ok := sh.runs[f.ID]; ok && t.run.State.Terminal() {
+			delete(sh.runs, f.ID)
+			evicted = append(evicted, f.ID)
 		}
 		sh.mu.Unlock()
 	}
@@ -195,7 +309,7 @@ func (s *Store) EvictTerminal(keep int) int {
 }
 
 // CountByState returns how many runs are in each state.
-func (s *Store) CountByState() map[State]int {
+func (s *MemStore) CountByState() map[State]int {
 	counts := make(map[State]int)
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -212,7 +326,7 @@ func (s *Store) CountByState() map[State]int {
 // cancel hook, and stamps StartedAt. It returns ErrNotQueued (without
 // touching the run) if the run is in any other state — in particular if it
 // was cancelled while still in the queue.
-func (s *Store) Begin(id string, cancel context.CancelFunc) (Run, error) {
+func (s *MemStore) Begin(id string, cancel context.CancelFunc) (Run, error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -233,7 +347,7 @@ func (s *Store) Begin(id string, cancel context.CancelFunc) (Run, error) {
 // Finish transitions a running run to its terminal state: cancelled if err
 // is a context cancellation, failed for any other error, succeeded
 // otherwise. The result (may be nil on error) and FinishedAt are recorded.
-func (s *Store) Finish(id string, result *Result, err error) (Run, error) {
+func (s *MemStore) Finish(id string, result *Result, err error) (Run, error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -263,6 +377,13 @@ func (s *Store) Finish(id string, result *Result, err error) (Run, error) {
 	return t.run, nil
 }
 
+// RedactTerminalSpec applies the terminal-snapshot edge redaction below to
+// a run owned by the caller. It exists for the WAL store's recovery paths,
+// which synthesize terminal snapshots (crash-cancelled runs, specs failing
+// re-validation) outside Finish/Cancel and must uphold the same
+// retained-memory bound.
+func RedactTerminalSpec(r *Run) { redactEdges(r) }
+
 // redactEdges drops the explicit edge list from a terminal snapshot: it
 // can be ~64MB per run, and retaining it for thousands of finished runs
 // (or serializing it into every list response) would let submitters pin
@@ -283,7 +404,7 @@ func redactEdges(r *Run) {
 // reports current progress). It fails only when id is unknown at call
 // time. This is what backs the HTTP API's ?wait= long-poll: callers park
 // on the run's done channel instead of busy-polling Get.
-func (s *Store) Await(ctx context.Context, id string) (Run, error) {
+func (s *MemStore) Await(ctx context.Context, id string) (Run, error) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
 	t, ok := sh.runs[id]
@@ -317,7 +438,7 @@ func (s *Store) Await(ctx context.Context, id string) (Run, error) {
 // running run has its cancel hook invoked; it stays running until the
 // dispatcher observes the cancellation and calls Finish, at which point it
 // lands in cancelled. Cancelling a terminal run returns ErrTerminal.
-func (s *Store) Cancel(id string) (Run, error) {
+func (s *MemStore) Cancel(id string) (Run, error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -343,3 +464,6 @@ func (s *Store) Cancel(id string) (Run, error) {
 		return t.run, fmt.Errorf("%w (state %s)", ErrTerminal, t.run.State)
 	}
 }
+
+// Close implements Store; the in-memory store holds no external resources.
+func (s *MemStore) Close() error { return nil }

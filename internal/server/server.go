@@ -173,14 +173,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 			writeError(w, fmt.Errorf("%w: %v", errInvalidRequest, err), nil)
 			return
 		}
-		// Keep only runs strictly after the cursor position in the stable
-		// (CreatedAt, ID) order. Position-based cursors survive eviction:
-		// a deleted run simply no longer appears, without shifting later
-		// pages the way offset pagination would.
+		// Keep only runs strictly after the cursor position, compared with
+		// the same shared comparator that orders List — so a cursor walk
+		// can never drift from the listing order. Position-based cursors
+		// survive eviction: a deleted run simply no longer appears, without
+		// shifting later pages the way offset pagination would.
 		kept := runs[:0]
 		for _, rr := range runs {
-			nanos := rr.CreatedAt.UnixNano()
-			if nanos > afterNanos || (nanos == afterNanos && rr.ID > afterID) {
+			if core.CompareRunToCursor(rr, afterNanos, afterID) > 0 {
 				kept = append(kept, rr)
 			}
 		}

@@ -21,7 +21,10 @@ import (
 // newTestServer stands up a real Service behind an httptest server.
 func newTestServer(t *testing.T, opts core.ServiceOptions) *httptest.Server {
 	t.Helper()
-	svc := core.NewService(opts)
+	svc, err := core.NewService(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(New(svc).Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -420,7 +423,10 @@ func TestHealthz(t *testing.T) {
 // the service drains, /readyz flips to 503 shutting_down the moment
 // shutdown starts.
 func TestReadyz(t *testing.T) {
-	svc := core.NewService(core.ServiceOptions{QueueDepth: 4, Dispatchers: 1})
+	svc, err := core.NewService(core.ServiceOptions{QueueDepth: 4, Dispatchers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(New(svc).Handler())
 	defer ts.Close()
 
@@ -599,7 +605,10 @@ func TestRequestIDHeader(t *testing.T) {
 // TestGracefulServeDrain exercises the serve loop directly: cancel the
 // context and verify in-flight runs drain to completion before exit.
 func TestGracefulServeDrain(t *testing.T) {
-	svc := core.NewService(core.ServiceOptions{QueueDepth: 4, Dispatchers: 2})
+	svc, err := core.NewService(core.ServiceOptions{QueueDepth: 4, Dispatchers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := New(svc)
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)

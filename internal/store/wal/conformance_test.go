@@ -1,0 +1,36 @@
+package wal_test
+
+import (
+	"testing"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/store/wal"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/storetest"
+)
+
+// TestStoreConformance runs the shared store conformance suite against the
+// WAL backend, in its default configuration and with per-record fsync, so
+// list order, eviction, Await, and cursor semantics are bit-identical to
+// the in-memory store's.
+func TestStoreConformance(t *testing.T) {
+	open := func(opts wal.Options) storetest.Factory {
+		return func(t *testing.T) run.Store {
+			s, recovered, err := wal.Open(t.TempDir(), opts)
+			if err != nil {
+				t.Fatalf("wal.Open: %v", err)
+			}
+			if len(recovered) != 0 {
+				t.Fatalf("fresh dir recovered %d runs", len(recovered))
+			}
+			t.Cleanup(func() { s.Close() })
+			return s
+		}
+	}
+	t.Run("Default", func(t *testing.T) { storetest.Run(t, open(wal.Options{})) })
+	t.Run("Fsync", func(t *testing.T) { storetest.Run(t, open(wal.Options{Fsync: true})) })
+	// A tiny compaction threshold forces snapshot+truncate churn under
+	// every conformance scenario.
+	t.Run("AggressiveCompaction", func(t *testing.T) {
+		storetest.Run(t, open(wal.Options{CompactThreshold: 4}))
+	})
+}

@@ -1,0 +1,76 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+)
+
+// TestRecoveryFailsRevalidationTerminally crafts a log whose queued run no
+// longer passes Spec.Validate (as happens when a newer dagd tightens
+// admission bounds over specs an older one logged) and pins the repair: the
+// run comes back failed — a complete terminal snapshot with FinishedAt set
+// so retention can evict it — rather than re-executing or lingering
+// half-terminal forever.
+func TestRecoveryFailsRevalidationTerminally(t *testing.T) {
+	dir := t.TempDir()
+	invalid := run.Run{
+		ID: "r000001-deadbeef",
+		// A random-shape spec with nodes below the admission minimum:
+		// impossible to submit through Validate, so it models a record
+		// from a binary with laxer bounds.
+		Spec:      run.Spec{Config: gen.Config{Shape: gen.Random, Nodes: 1}},
+		State:     run.StateQueued,
+		CreatedAt: time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC),
+	}
+	buf, err := encodeFrame(nil, record{Op: opCreate, Run: &invalid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, recovered, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	if len(recovered) != 0 {
+		t.Fatalf("unvalidatable run was re-admitted: %+v", recovered)
+	}
+	got, err := s.Get(invalid.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != run.StateFailed {
+		t.Fatalf("state = %s, want failed", got.State)
+	}
+	if got.FinishedAt == nil {
+		t.Error("repaired run has no FinishedAt — it could never be evicted")
+	}
+	if got.Error == "" {
+		t.Error("repaired run carries no explanation")
+	}
+	// Being a complete terminal snapshot, it must be evictable.
+	if n := s.EvictTerminal(0); n != 0 {
+		t.Errorf("EvictTerminal(0) = %d, want 0 (unlimited)", n)
+	}
+	r2, err := s.Create(run.Spec{Config: gen.Config{Shape: gen.Pipeline, Stages: 3, Width: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Begin(r2.ID, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finish(r2.ID, &run.Result{Match: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.EvictTerminal(1); n != 1 {
+		t.Errorf("EvictTerminal(1) = %d, want 1 (the repaired run evicts first)", n)
+	}
+}

@@ -1,0 +1,699 @@
+// Package wal is the durable run.Store implementation: an append-only
+// write-ahead log of run state transitions layered over the in-memory
+// MemStore. Reads are served from memory; every mutation is recorded to
+// disk before the call returns, so a crashed dagd rebuilds its full run
+// history — and re-admits interrupted work — by replaying the log on boot.
+//
+// # On-disk format
+//
+// A data directory holds two kinds of files, both sequences of identically
+// framed records:
+//
+//	wal-<seq>.log      active/sealed log segments, one record per transition
+//	snapshot-<seq>.log compacted baseline: one record per surviving run
+//
+// Each record is framed as
+//
+//	[4-byte big-endian payload length][4-byte big-endian CRC32 (IEEE) of payload][payload]
+//
+// where the payload is one JSON-encoded record: an op name plus either a
+// full post-transition run snapshot ("create", "begin", "finish", "cancel",
+// "requeue", "put") or a bare run ID ("del", written for evictions and
+// deletes). Carrying the full snapshot makes replay trivially idempotent —
+// the last record for an ID wins — and means a reordered or partially
+// missing history still converges to a valid state.
+//
+// # Replay and corruption policy
+//
+// Open loads the highest-numbered snapshot, then replays every later
+// segment in sequence order. A truncated or checksum-failing record in the
+// final (active-at-crash) segment is treated as a torn tail: the file is
+// truncated at the last good record and recovery proceeds — a crash
+// mid-append must not brick the store. The same damage in any earlier file
+// means real corruption (those files were sealed complete), and Open
+// refuses to load rather than resurrect a partial history. Records that
+// decode but fail validation (empty ID, unknown op) follow the same policy.
+//
+// # Recovery semantics
+//
+// After replay, terminal runs are restored as immutable history. Runs that
+// were queued or running at crash time are re-admitted: their state is
+// reset to queued (StartedAt cleared, Restarts incremented) and a "requeue"
+// record logs the interrupted → queued transition. The recovered queued
+// runs are returned from Open, oldest first, so the caller can hand them
+// back to a dispatcher. A to-be-requeued run whose spec no longer passes
+// validation (possible only if the log was hand-edited — CRC protects
+// against accidental damage) is marked failed instead of re-executed.
+package wal
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+)
+
+// Record ops. All but opDel carry a full run snapshot.
+const (
+	opCreate    = "create"    // run admitted to the queue
+	opBegin     = "begin"     // queued → running
+	opFinish    = "finish"    // running → succeeded|failed|cancelled
+	opCancel    = "cancel"    // queued → cancelled immediately
+	opCancelReq = "cancelreq" // cancellation acknowledged on a running run
+	opRequeue   = "requeue"   // interrupted → queued on recovery
+	opPut       = "put"       // compaction baseline / recovery-repair snapshot
+	opDel       = "del"       // run removed (eviction or submit rollback)
+)
+
+// record is the JSON payload of one framed WAL entry.
+type record struct {
+	Op  string   `json:"op"`
+	Run *run.Run `json:"run,omitempty"`
+	ID  string   `json:"id,omitempty"`
+}
+
+// frameHeaderSize is the fixed prefix of every record: payload length plus
+// payload CRC32, both big-endian uint32.
+const frameHeaderSize = 8
+
+// maxRecordBytes bounds a single record's payload. The largest legitimate
+// record is a queued explicit spec near run.MaxEdges (~4M edges at ~10 JSON
+// bytes each); anything bigger is treated as corruption rather than an
+// allocation request.
+const maxRecordBytes = 128 << 20
+
+// Options configures a WAL store.
+type Options struct {
+	// Fsync forces an fsync after every appended record, making each
+	// acknowledged transition durable against power loss, not just process
+	// crash. Off by default: the OS page cache survives SIGKILL, and
+	// per-record fsync costs ~milliseconds per transition on most disks.
+	// Compaction snapshots are always fsynced before old segments are
+	// removed, regardless of this setting.
+	Fsync bool
+	// CompactThreshold is how many records may be appended (or replayed
+	// from segments on boot) before the store compacts: it writes all
+	// surviving runs — mostly terminal history — into a snapshot file and
+	// deletes the older segments. Zero means 4096; negative disables
+	// compaction.
+	CompactThreshold int
+	// SegmentMaxBytes rotates the active segment once it grows past this
+	// size, bounding the largest file replay must buffer. Zero means 8MB.
+	SegmentMaxBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.CompactThreshold == 0 {
+		o.CompactThreshold = 4096
+	}
+	if o.SegmentMaxBytes <= 0 {
+		o.SegmentMaxBytes = 8 << 20
+	}
+	return o
+}
+
+// Store is the WAL-backed run.Store. The embedded MemStore answers every
+// read; mu serializes mutations so the record order on disk always matches
+// the order transitions were applied in memory (without it, two racing
+// transitions on one run could log in the opposite order and replay to the
+// wrong final state).
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	mem      *run.MemStore
+	seg      *os.File // active segment
+	segBytes int64
+	nextSeq  uint64 // next file sequence number (segments and snapshots share it)
+	appended int    // records since the last compaction (or replayed since boot)
+	closed   bool
+}
+
+var _ run.Store = (*Store)(nil)
+
+// Open loads (or initializes) the WAL in dir and returns the store plus the
+// recovered queued runs — every run that was queued or running at crash
+// time, already reset to queued — oldest first, for the caller to re-admit
+// to its dispatcher.
+func Open(dir string, opts Options) (*Store, []run.Run, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating data dir: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, mem: run.NewMemStore()}
+
+	replayed, maxSeq, err := s.load()
+	if err != nil {
+		return nil, nil, err
+	}
+	s.nextSeq = maxSeq + 1
+	s.appended = len(replayed.runs)
+
+	// Restore terminal history first, then convert interrupted runs.
+	// repaired collects runs that recovery itself drives to a terminal
+	// state (crash-orphaned cancellations, specs failing re-validation);
+	// their synthesized snapshots are logged below as opPut.
+	var recovered, repaired []run.Run
+	for _, r := range replayed.runs {
+		if r.State.Terminal() {
+			s.mem.Restore(r)
+			continue
+		}
+		if replayed.cancelRequested[r.ID] {
+			// A cancel was acknowledged while this run was running, and the
+			// process died before the dispatcher could record the terminal
+			// outcome. Honoring the acknowledgement means finishing the
+			// cancellation now, not re-executing the run.
+			now := time.Now().Round(0)
+			r.State = run.StateCancelled
+			r.Error = "cancelled; the service restarted before the cancellation completed"
+			r.FinishedAt = &now
+			r.Result = nil
+			run.RedactTerminalSpec(&r)
+			repaired = append(repaired, r)
+			s.mem.Restore(r)
+			continue
+		}
+		// interrupted → queued: the process died before this run finished.
+		r.State = run.StateQueued
+		r.StartedAt = nil
+		r.Result = nil
+		r.Error = ""
+		r.Restarts++
+		if err := r.Spec.Validate(); err != nil {
+			// Reachable when a newer dagd tightened admission bounds over
+			// specs an older one logged (or the log was hand-edited — CRC
+			// catches accidental damage): never re-execute a spec admission
+			// would refuse now.
+			now := time.Now().Round(0)
+			r.State = run.StateFailed
+			r.Error = fmt.Sprintf("spec failed re-validation during crash recovery: %v", err)
+			r.FinishedAt = &now
+			run.RedactTerminalSpec(&r)
+			repaired = append(repaired, r)
+			s.mem.Restore(r)
+			continue
+		}
+		s.mem.Restore(r)
+		recovered = append(recovered, r)
+	}
+	sort.Slice(recovered, func(i, j int) bool { return run.CompareRuns(recovered[i], recovered[j]) < 0 })
+
+	if err := s.openSegment(); err != nil {
+		return nil, nil, err
+	}
+	// Log the recovery transitions themselves, so a second crash before the
+	// next compaction still replays to the re-admitted (or repaired) state.
+	for _, r := range recovered {
+		r := r
+		if err := s.append(record{Op: opRequeue, Run: &r}); err != nil {
+			s.seg.Close()
+			return nil, nil, err
+		}
+	}
+	for _, r := range repaired {
+		r := r
+		if err := s.append(record{Op: opPut, Run: &r}); err != nil {
+			s.seg.Close()
+			return nil, nil, err
+		}
+	}
+	return s, recovered, nil
+}
+
+// replayState is the fold over a log chain: the latest snapshot per
+// surviving run, plus which non-terminal runs had a cancellation
+// acknowledged (an opCancelReq with no terminal record after it).
+type replayState struct {
+	runs            map[string]run.Run
+	cancelRequested map[string]bool
+}
+
+// load replays the snapshot + segment chain and returns the surviving
+// replay state and the highest file sequence number seen.
+func (s *Store) load() (*replayState, uint64, error) {
+	snaps, segs, err := scanDir(s.dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	state := &replayState{
+		runs:            make(map[string]run.Run),
+		cancelRequested: make(map[string]bool),
+	}
+	var maxSeq uint64
+
+	// Baseline: the highest-numbered snapshot. Older snapshots are only
+	// leftovers from an interrupted cleanup; ignore them.
+	var snapSeq uint64
+	if len(snaps) > 0 {
+		snapSeq = snaps[len(snaps)-1]
+		maxSeq = snapSeq
+		path := filepath.Join(s.dir, snapshotName(snapSeq))
+		// A snapshot is written to a temp file, fsynced, and renamed into
+		// place, so it is either absent or complete: any damage is real
+		// corruption, never a torn tail.
+		if err := replayFile(path, false, state); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	for i, seq := range segs {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if seq <= snapSeq {
+			// Sealed before the snapshot was taken; its records are already
+			// baked in. (Normally deleted by compaction — tolerate leftovers
+			// from a crash between snapshot rename and segment removal.)
+			continue
+		}
+		final := i == len(segs)-1
+		if err := replayFile(filepath.Join(s.dir, segmentName(seq)), final, state); err != nil {
+			return nil, 0, err
+		}
+	}
+	return state, maxSeq, nil
+}
+
+// replayFile applies every record in path to state. final selects the
+// torn-tail policy: in the final segment a truncated, checksum-failing, or
+// undecodable record (and everything after it) is discarded by truncating
+// the file; in any earlier file the same damage is corruption and an error.
+func replayFile(path string, final bool, state *replayState) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: reading %s: %w", filepath.Base(path), err)
+	}
+	off := 0
+	for {
+		n, rec, err := decodeFrame(data[off:])
+		if err == errEndOfLog {
+			return nil
+		}
+		if err != nil {
+			if !final {
+				return fmt.Errorf("wal: %s is corrupt at offset %d: %w (refusing to load a damaged sealed file)",
+					filepath.Base(path), off, err)
+			}
+			log.Printf("wal: truncating torn tail of %s at offset %d: %v", filepath.Base(path), off, err)
+			if terr := os.Truncate(path, int64(off)); terr != nil {
+				return fmt.Errorf("wal: truncating torn tail of %s: %w", filepath.Base(path), terr)
+			}
+			return nil
+		}
+		applyRecord(rec, state)
+		off += n
+	}
+}
+
+// applyRecord folds one decoded record into the replay state. Snapshots
+// are last-writer-wins; the cancel-requested flag survives later
+// non-terminal records for the run (a begin cannot follow a cancel
+// request, but a requeue from an older recovery could only exist if the
+// flag was absent) and becomes irrelevant once a terminal record lands.
+func applyRecord(rec record, state *replayState) {
+	switch rec.Op {
+	case opDel:
+		delete(state.runs, rec.ID)
+		delete(state.cancelRequested, rec.ID)
+	case opCancelReq:
+		state.runs[rec.Run.ID] = *rec.Run
+		state.cancelRequested[rec.Run.ID] = true
+	default:
+		state.runs[rec.Run.ID] = *rec.Run
+	}
+}
+
+// errEndOfLog marks a clean end of a record stream (zero bytes remaining).
+var errEndOfLog = errors.New("wal: end of log")
+
+// decodeFrame decodes one framed record from the front of b, returning the
+// total bytes consumed. Any defect — short header, truncated payload,
+// oversized or zero length, CRC mismatch, malformed JSON, or a record that
+// fails validation — is an error; callers choose between torn-tail
+// truncation and refusal.
+func decodeFrame(b []byte) (int, record, error) {
+	if len(b) == 0 {
+		return 0, record{}, errEndOfLog
+	}
+	if len(b) < frameHeaderSize {
+		return 0, record{}, fmt.Errorf("short frame header (%d bytes)", len(b))
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	if n == 0 || n > maxRecordBytes {
+		return 0, record{}, fmt.Errorf("implausible record length %d", n)
+	}
+	if uint32(len(b)-frameHeaderSize) < n {
+		return 0, record{}, fmt.Errorf("truncated record: header claims %d bytes, %d remain", n, len(b)-frameHeaderSize)
+	}
+	payload := b[frameHeaderSize : frameHeaderSize+int(n)]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(b[4:8]); got != want {
+		return 0, record{}, fmt.Errorf("checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return 0, record{}, fmt.Errorf("undecodable record: %v", err)
+	}
+	if err := validateRecord(rec); err != nil {
+		return 0, record{}, err
+	}
+	return frameHeaderSize + int(n), rec, nil
+}
+
+// validateRecord rejects structurally invalid records so replay never
+// inserts a run it could not have written: every op must be known, del
+// needs an ID, everything else needs a snapshot with a non-empty ID.
+// (State names are enforced by JSON decoding already — run.State
+// unmarshals from its text form and rejects unknown names.)
+func validateRecord(rec record) error {
+	switch rec.Op {
+	case opDel:
+		if rec.ID == "" {
+			return errors.New("del record without id")
+		}
+	case opCreate, opBegin, opFinish, opCancel, opCancelReq, opRequeue, opPut:
+		if rec.Run == nil || rec.Run.ID == "" {
+			return fmt.Errorf("%s record without run snapshot", rec.Op)
+		}
+	default:
+		return fmt.Errorf("unknown record op %q", rec.Op)
+	}
+	return nil
+}
+
+// encodeFrame appends the framed encoding of rec to buf.
+func encodeFrame(buf []byte, rec record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return buf, fmt.Errorf("wal: encoding record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return buf, fmt.Errorf("wal: record payload %d bytes exceeds cap %d", len(payload), maxRecordBytes)
+	}
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	return append(append(buf, hdr[:]...), payload...), nil
+}
+
+func segmentName(seq uint64) string  { return fmt.Sprintf("wal-%016d.log", seq) }
+func snapshotName(seq uint64) string { return fmt.Sprintf("snapshot-%016d.log", seq) }
+
+// scanDir lists snapshot and segment sequence numbers in dir, each sorted
+// ascending.
+func scanDir(dir string) (snaps, segs []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: scanning data dir: %w", err)
+	}
+	parse := func(name, prefix string) (uint64, bool) {
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".log") {
+			return 0, false
+		}
+		mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".log")
+		seq, err := strconv.ParseUint(mid, 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return seq, true
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parse(e.Name(), "snapshot-"); ok {
+			snaps = append(snaps, seq)
+		} else if seq, ok := parse(e.Name(), "wal-"); ok {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return snaps, segs, nil
+}
+
+// openSegment starts a fresh active segment. Callers hold mu (or are still
+// single-threaded in Open).
+func (s *Store) openSegment() error {
+	seq := s.nextSeq
+	s.nextSeq++
+	f, err := os.OpenFile(filepath.Join(s.dir, segmentName(seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: opening segment: %w", err)
+	}
+	s.seg = f
+	s.segBytes = 0
+	return nil
+}
+
+// append writes one record to the active segment, rotating and compacting
+// as thresholds demand. Callers hold mu.
+func (s *Store) append(rec record) error {
+	if s.closed {
+		return errors.New("wal: store is closed")
+	}
+	buf, err := encodeFrame(nil, rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.seg.Write(buf); err != nil {
+		return fmt.Errorf("wal: appending record: %w", err)
+	}
+	if s.opts.Fsync {
+		if err := s.seg.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	s.segBytes += int64(len(buf))
+	s.appended++
+	if s.opts.CompactThreshold > 0 && s.appended >= s.opts.CompactThreshold {
+		if err := s.compact(); err != nil {
+			// Compaction failure is not data loss — the log is intact, just
+			// longer than we'd like. Log and carry on.
+			log.Printf("wal: compaction failed (log keeps growing until it succeeds): %v", err)
+		}
+		return nil
+	}
+	if s.segBytes >= s.opts.SegmentMaxBytes {
+		if err := s.rotate(); err != nil {
+			log.Printf("wal: segment rotation failed (segment keeps growing until it succeeds): %v", err)
+		}
+	}
+	return nil
+}
+
+// rotate seals the active segment and starts a new one. Callers hold mu.
+func (s *Store) rotate() error {
+	if err := s.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing sealed segment: %w", err)
+	}
+	if err := s.seg.Close(); err != nil {
+		return fmt.Errorf("wal: closing sealed segment: %w", err)
+	}
+	return s.openSegment()
+}
+
+// compact writes the entire surviving state — terminal history plus any
+// live runs — into a snapshot file and removes every older segment and
+// snapshot. The snapshot is staged in a temp file, fsynced, then renamed,
+// so a crash at any point leaves either the old chain or the new snapshot
+// fully intact. Callers hold mu.
+func (s *Store) compact() error {
+	snapSeq := s.nextSeq
+	s.nextSeq++
+
+	runs := s.mem.List()
+	var buf []byte
+	for i := range runs {
+		var err error
+		if buf, err = encodeFrame(buf, record{Op: opPut, Run: &runs[i]}); err != nil {
+			return err
+		}
+	}
+	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: staging snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, snapshotName(snapSeq))); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: installing snapshot: %w", err)
+	}
+
+	// The snapshot is durable; everything older is redundant. Removal
+	// failures are tolerable (replay skips files at or below the snapshot's
+	// sequence) — try again next compaction.
+	snaps, segs, err := scanDir(s.dir)
+	if err == nil {
+		for _, seq := range snaps {
+			if seq < snapSeq {
+				os.Remove(filepath.Join(s.dir, snapshotName(seq)))
+			}
+		}
+		for _, seq := range segs {
+			if seq < snapSeq {
+				os.Remove(filepath.Join(s.dir, segmentName(seq)))
+			}
+		}
+	}
+
+	// The old active segment's sequence number is below snapSeq, so it was
+	// just removed out from under its handle; swap in a fresh one.
+	s.seg.Close()
+	s.appended = 0
+	return s.openSegment()
+}
+
+// Create registers a queued run, logging it before the ID escapes. If the
+// log write fails the in-memory entry is rolled back, so a run the WAL
+// never heard of can never be observed.
+func (s *Store) Create(spec run.Spec) (run.Run, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, err := s.mem.Create(spec)
+	if err != nil {
+		return run.Run{}, err
+	}
+	if err := s.append(record{Op: opCreate, Run: &r}); err != nil {
+		s.mem.Delete(r.ID)
+		return run.Run{}, err
+	}
+	return r, nil
+}
+
+// Begin transitions queued → running (see run.Store). The transition is
+// applied in memory first and then logged; a log failure is returned but
+// the in-memory transition stands — memory is the source of truth while
+// the process lives, and the next compaction re-syncs the log.
+func (s *Store) Begin(id string, cancel context.CancelFunc) (run.Run, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, err := s.mem.Begin(id, cancel)
+	if err != nil {
+		return r, err
+	}
+	return r, s.append(record{Op: opBegin, Run: &r})
+}
+
+// Finish transitions running → terminal (see run.Store).
+func (s *Store) Finish(id string, result *run.Result, runErr error) (run.Run, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, err := s.mem.Finish(id, result, runErr)
+	if err != nil {
+		return r, err
+	}
+	return r, s.append(record{Op: opFinish, Run: &r})
+}
+
+// Cancel requests cancellation (see run.Store). A queued → cancelled
+// transition is logged terminally; a cancel acknowledged on a running run
+// is logged as a cancel-request record, so that if the process dies before
+// the dispatcher records the terminal outcome, recovery finishes the
+// cancellation instead of resurrecting and re-executing an acknowledged-
+// cancelled run.
+func (s *Store) Cancel(id string) (run.Run, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, err := s.mem.Cancel(id)
+	if err != nil {
+		return r, err
+	}
+	if r.State == run.StateCancelled && r.StartedAt == nil {
+		return r, s.append(record{Op: opCancel, Run: &r})
+	}
+	if r.State == run.StateRunning {
+		return r, s.append(record{Op: opCancelReq, Run: &r})
+	}
+	return r, nil
+}
+
+// Delete removes a run entirely (see run.Store).
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.mem.Get(id); err != nil {
+		return nil // nothing tracked, nothing to log
+	}
+	if err := s.mem.Delete(id); err != nil {
+		return err
+	}
+	return s.append(record{Op: opDel, ID: id})
+}
+
+// EvictTerminal evicts oldest-finished terminal runs past keep, logging a
+// deletion per victim so replay converges to the same bounded history.
+func (s *Store) EvictTerminal(keep int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := s.mem.EvictTerminalIDs(keep)
+	for _, id := range ids {
+		if err := s.append(record{Op: opDel, ID: id}); err != nil {
+			// The run is gone from memory but not the log: after a crash it
+			// would be resurrected until the next successful eviction or
+			// compaction trims it again. Harmless beyond disk space.
+			log.Printf("wal: logging eviction of %s: %v", id, err)
+		}
+	}
+	return len(ids)
+}
+
+// Get returns a snapshot of one run (read-only; served from memory).
+func (s *Store) Get(id string) (run.Run, error) { return s.mem.Get(id) }
+
+// List returns all runs in (CreatedAt, ID) order (read-only).
+func (s *Store) List() []run.Run { return s.mem.List() }
+
+// Len returns the number of tracked runs (read-only).
+func (s *Store) Len() int { return s.mem.Len() }
+
+// CountByState returns per-state run counts (read-only).
+func (s *Store) CountByState() map[run.State]int { return s.mem.CountByState() }
+
+// Await blocks until the run is terminal or ctx is done (read-only; parks
+// on the in-memory done channel, no log involvement).
+func (s *Store) Await(ctx context.Context, id string) (run.Run, error) {
+	return s.mem.Await(ctx, id)
+}
+
+// Close seals the active segment. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.seg.Sync(); err != nil {
+		s.seg.Close()
+		return fmt.Errorf("wal: syncing on close: %w", err)
+	}
+	return s.seg.Close()
+}

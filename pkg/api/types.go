@@ -88,12 +88,15 @@ type Run struct {
 	// list from this terminal snapshot to bound retained memory; the
 	// spec no longer describes the executed graph and must not be
 	// resubmitted as-is.
-	SpecRedacted bool       `json:"spec_redacted,omitempty"`
-	Error        string     `json:"error,omitempty"`
-	Result       *Result    `json:"result,omitempty"`
-	CreatedAt    time.Time  `json:"created_at"`
-	StartedAt    *time.Time `json:"started_at,omitempty"`
-	FinishedAt   *time.Time `json:"finished_at,omitempty"`
+	SpecRedacted bool `json:"spec_redacted,omitempty"`
+	// Restarts counts how many times a durable (WAL-backed) server
+	// re-admitted this run to its queue after a restart interrupted it.
+	Restarts   int        `json:"restarts,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	Result     *Result    `json:"result,omitempty"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
 }
 
 // RunList is one page of GET /v1/runs. NextCursor is empty on the last

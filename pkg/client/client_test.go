@@ -24,7 +24,10 @@ var diamond = []api.Edge{{0, 1}, {0, 2}, {1, 3}, {2, 3}}
 // to it.
 func newClient(t *testing.T, opts core.ServiceOptions) *Client {
 	t.Helper()
-	svc := core.NewService(opts)
+	svc, err := core.NewService(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(server.New(svc).Handler())
 	t.Cleanup(func() {
 		ts.Close()
