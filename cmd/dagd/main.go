@@ -14,6 +14,12 @@
 //	dagd -data-dir /var/lib/dagd            # survive restarts
 //	dagd -data-dir /var/lib/dagd -fsync     # survive power loss too
 //	dagd -workload hashchain
+//	dagd -tenants tenants.json              # multi-tenant fair scheduling
+//
+// With -tenants, submissions are attributed to the tenant named by the
+// X-Tenant request header (absent = "default") and scheduled by weighted
+// deficit round-robin with priority classes, per-tenant quotas, and
+// token-bucket rate limits (429 + Retry-After past them).
 //
 // Submit and poll with curl (or use the typed client in pkg/client):
 //
@@ -58,6 +64,7 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "directory for the durable run WAL; empty = in-memory store (state lost on restart)")
 		fsync        = flag.Bool("fsync", false, "fsync the WAL after every record (needs -data-dir); off = durable against crash, not power loss")
 		compactEvery = flag.Int("compact-threshold", 0, "WAL records between compactions into a snapshot file (0 = 4096, negative = never; needs -data-dir)")
+		tenantsFile  = flag.String("tenants", "", "JSON tenant config file (weights, priorities, quotas, rate limits); empty = single default tenant")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight runs on shutdown")
 	)
 	flag.Parse()
@@ -73,6 +80,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dagd: -fsync and -compact-threshold require -data-dir")
 		os.Exit(2)
 	}
+	var tenants []core.TenantConfig
+	if *tenantsFile != "" {
+		var err error
+		if tenants, err = core.LoadTenantConfigs(*tenantsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "dagd:", err)
+			os.Exit(2)
+		}
+		log.Printf("dagd: loaded %d tenant configs from %s", len(tenants), *tenantsFile)
+	}
 	svc, err := core.NewService(core.ServiceOptions{
 		QueueDepth:        *queueDepth,
 		Dispatchers:       *dispatchers,
@@ -82,6 +98,7 @@ func main() {
 		DataDir:           *dataDir,
 		Fsync:             *fsync,
 		CompactThreshold:  *compactEvery,
+		Tenants:           tenants,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dagd:", err)

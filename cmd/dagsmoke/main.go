@@ -5,9 +5,17 @@
 // rejections decode to the right sentinel errors, and walk pagination.
 // It exits 0 only if every check passes.
 //
+// With -tenants it additionally exercises multi-tenant isolation against a
+// dagd started with the matching tenant config (ci/tenants-smoke.json):
+// one tenant saturates its in-flight cap and queue quota and must get 429
+// quota_exceeded with a Retry-After, a second tenant must keep submitting
+// successfully during the saturation, and a rate-limited tenant must get
+// 429 rate_limited with a positive Retry-After.
+//
 // Usage:
 //
 //	dagsmoke -base http://127.0.0.1:18080 -timeout 2m
+//	dagsmoke -base http://127.0.0.1:18080 -tenants   # needs dagd -tenants ci/tenants-smoke.json
 package main
 
 import (
@@ -31,6 +39,7 @@ func main() {
 	var (
 		base    = flag.String("base", "http://127.0.0.1:8080", "dagd base URL")
 		timeout = flag.Duration("timeout", 2*time.Minute, "overall smoke-test budget")
+		tenants = flag.Bool("tenants", false, "also check tenant isolation (dagd must run with the smoke tenant config)")
 	)
 	flag.Parse()
 
@@ -39,6 +48,12 @@ func main() {
 	if err := smoke(ctx, client.New(*base, client.WithWaitSlice(2*time.Second))); err != nil {
 		fmt.Fprintln(os.Stderr, "dagsmoke: FAIL:", err)
 		os.Exit(1)
+	}
+	if *tenants {
+		if err := tenantSmoke(ctx, *base); err != nil {
+			fmt.Fprintln(os.Stderr, "dagsmoke: FAIL:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("dagsmoke: all checks passed")
 }
@@ -122,5 +137,114 @@ func smoke(ctx context.Context, c *client.Client) error {
 		return fmt.Errorf("pagination walked %d runs, submitted %d", len(seen), submitted)
 	}
 	fmt.Printf("dagsmoke: pagination walked %d runs\n", len(seen))
+	return nil
+}
+
+// tenantSmoke checks tenant isolation end to end. It expects dagd to be
+// running with the tenants from ci/tenants-smoke.json:
+//
+//	smoke-heavy:   max_in_flight 1, max_queue_depth 2
+//	smoke-light:   no limits
+//	smoke-limited: submit_rate 0.2, submit_burst 1
+func tenantSmoke(ctx context.Context, base string) error {
+	heavy := client.New(base, client.WithTenant("smoke-heavy"), client.WithWaitSlice(2*time.Second))
+	light := client.New(base, client.WithTenant("smoke-light"), client.WithWaitSlice(2*time.Second))
+	limited := client.New(base, client.WithTenant("smoke-limited"), client.WithWaitSlice(2*time.Second))
+
+	// Saturate smoke-heavy: one long run hits the in-flight cap, two more
+	// fill the depth-2 queue, so the next submission must be rejected.
+	slow := api.RunSpec{Shape: api.ShapePipeline, Stages: 20000, Width: 4, Work: 2000, Workers: 2}
+	var heavyIDs []string
+	hog, err := heavy.Submit(ctx, slow)
+	if err != nil {
+		return fmt.Errorf("smoke-heavy hog submit: %w", err)
+	}
+	heavyIDs = append(heavyIDs, hog.ID)
+	if hog.Spec.Tenant != "smoke-heavy" {
+		return fmt.Errorf("heavy run attributed to %q, want smoke-heavy", hog.Spec.Tenant)
+	}
+	// Wait for the hog to start so the in-flight cap (not just queue depth)
+	// is really holding the two queued runs back.
+	for {
+		r, err := heavy.Get(ctx, hog.ID)
+		if err != nil {
+			return fmt.Errorf("polling hog: %w", err)
+		}
+		if r.State == api.StateRunning {
+			break
+		}
+		if r.State.Terminal() {
+			return fmt.Errorf("hog finished before saturation (state %s); use a slower spec", r.State)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("hog never started: %w", ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	for i := 0; i < 2; i++ {
+		r, err := heavy.Submit(ctx, slow)
+		if err != nil {
+			return fmt.Errorf("smoke-heavy queued submit %d: %w", i, err)
+		}
+		heavyIDs = append(heavyIDs, r.ID)
+	}
+	_, err = heavy.Submit(ctx, slow)
+	if !errors.Is(err, api.ErrQuotaExceeded) {
+		return fmt.Errorf("over-quota submit: got %v, want api.ErrQuotaExceeded", err)
+	}
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		return fmt.Errorf("quota error %v is not an *api.Error", err)
+	}
+	if apiErr.HTTPStatus != 429 || apiErr.RetryAfter <= 0 {
+		return fmt.Errorf("quota rejection = status %d retry-after %v, want 429 with a positive Retry-After",
+			apiErr.HTTPStatus, apiErr.RetryAfter)
+	}
+	fmt.Println("dagsmoke: smoke-heavy saturated its quota -> 429 quota_exceeded + Retry-After")
+
+	// The other tenant is unaffected: its submission is accepted and
+	// completes while smoke-heavy stays saturated.
+	lr, err := light.SubmitExplicit(ctx, 4, diamond, client.SubmitOptions{Work: 10})
+	if err != nil {
+		return fmt.Errorf("smoke-light submit during heavy saturation: %w", err)
+	}
+	if lr, err = light.Wait(ctx, lr.ID); err != nil || lr.State != api.StateSucceeded {
+		return fmt.Errorf("smoke-light run during saturation = %v, %v; want succeeded", lr, err)
+	}
+	fmt.Println("dagsmoke: smoke-light submitted and succeeded during the saturation")
+
+	// The rate-limited tenant: the burst token admits one submission, the
+	// next is rejected with a computed Retry-After.
+	if _, err := limited.SubmitExplicit(ctx, 4, diamond, client.SubmitOptions{}); err != nil {
+		return fmt.Errorf("smoke-limited first submit within burst: %w", err)
+	}
+	_, err = limited.SubmitExplicit(ctx, 4, diamond, client.SubmitOptions{})
+	if !errors.Is(err, api.ErrRateLimited) {
+		return fmt.Errorf("over-rate submit: got %v, want api.ErrRateLimited", err)
+	}
+	apiErr = nil
+	if !errors.As(err, &apiErr) || apiErr.RetryAfter <= 0 {
+		return fmt.Errorf("rate-limit rejection lacks a positive Retry-After: %v", err)
+	}
+	fmt.Printf("dagsmoke: smoke-limited -> 429 rate_limited, Retry-After %v\n", apiErr.RetryAfter)
+
+	// An unconfigured tenant collapses onto the catch-all default.
+	anon := client.New(base, client.WithTenant("smoke-unknown"))
+	ar, err := anon.SubmitExplicit(ctx, 4, diamond, client.SubmitOptions{})
+	if err != nil {
+		return fmt.Errorf("unknown-tenant submit: %w", err)
+	}
+	if ar.Spec.Tenant != "default" {
+		return fmt.Errorf("unknown tenant attributed to %q, want default", ar.Spec.Tenant)
+	}
+
+	// Clean up the saturation so the smoke leaves no multi-second backlog.
+	for _, id := range heavyIDs {
+		if _, err := heavy.Cancel(ctx, id); err != nil && !errors.Is(err, api.ErrRunTerminal) {
+			return fmt.Errorf("cancelling heavy run %s: %w", id, err)
+		}
+	}
+	fmt.Println("dagsmoke: tenant isolation checks passed")
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dispatch"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/store/wal"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/tenant"
 )
 
 // Run-service re-exports, so service callers (internal/server, cmd/dagd)
@@ -16,7 +17,21 @@ type (
 	RunResult = run.Result
 	RunInfo   = run.Run
 	RunStore  = run.Store
+	// TenantConfig is one tenant's admission policy (weight, priority
+	// class, quotas, submit rate limit) — the element type of the -tenants
+	// file and ServiceOptions.Tenants.
+	TenantConfig = tenant.Config
+	// TenantStats is one tenant's scheduling snapshot inside ServiceStats.
+	TenantStats = dispatch.TenantStats
+	// RetryableError wraps backpressure rejections (rate_limited,
+	// quota_exceeded, queue full) with the tenant hit and a Retry-After
+	// hint for the API layer.
+	RetryableError = dispatch.RetryableError
 )
+
+// DefaultTenant is the catch-all tenant name submissions with no (or an
+// unconfigured) X-Tenant are attributed to.
+const DefaultTenant = tenant.Default
 
 // Run lifecycle states.
 const (
@@ -35,8 +50,15 @@ var (
 	ErrInvalidSpec     = run.ErrInvalidSpec
 	ErrUnknownWorkload = run.ErrUnknownWorkload
 	ErrQueueFull       = dispatch.ErrQueueFull
+	ErrRateLimited     = dispatch.ErrRateLimited
+	ErrQuotaExceeded   = dispatch.ErrQuotaExceeded
 	ErrShuttingDown    = dispatch.ErrShuttingDown
+	ErrInvalidTenants  = tenant.ErrInvalidConfig
 )
+
+// LoadTenantConfigs reads tenant configs from a JSON file (bare array or
+// {"tenants":[...]}) — the dagd -tenants flag's loader.
+func LoadTenantConfigs(path string) ([]TenantConfig, error) { return tenant.LoadFile(path) }
 
 // ParseRunState converts a state name ("queued", "running", ...) to a RunState.
 func ParseRunState(name string) (RunState, error) { return run.ParseState(name) }
@@ -87,6 +109,11 @@ type ServiceOptions struct {
 	// terminal runs are compacted into a snapshot file and old segments
 	// removed (0 = 4096, negative = never). Only meaningful with DataDir.
 	CompactThreshold int
+	// Tenants is the multi-tenant admission policy (dagd -tenants). Nil
+	// means only the catch-all default tenant exists — every submission
+	// shares one queue bounded by QueueDepth, as before. Invalid configs
+	// fail NewService with ErrInvalidTenants.
+	Tenants []TenantConfig
 }
 
 // ServiceStats is a snapshot of service load for health reporting.
@@ -99,6 +126,9 @@ type ServiceStats struct {
 	// Recovered is how many interrupted runs were re-admitted to the queue
 	// when this process booted from an existing data dir.
 	Recovered int `json:"recovered,omitempty"`
+	// Tenants is each tenant's scheduling snapshot: queue length, in-flight
+	// count, and admission counters, keyed by tenant name.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
 
 // Service is the long-running run-execution facade: a run store (in-memory,
@@ -121,6 +151,10 @@ func NewService(opts ServiceOptions) (*Service, error) {
 	if opts.DefaultWorkload == "" {
 		opts.DefaultWorkload = DefaultWorkload
 	}
+	registry, err := tenant.NewRegistry(opts.Tenants)
+	if err != nil {
+		return nil, err
+	}
 	var store run.Store
 	var recovered []run.Run
 	if opts.DataDir != "" {
@@ -141,13 +175,10 @@ func NewService(opts ServiceOptions) (*Service, error) {
 		DefaultRunWorkers: opts.DefaultRunWorkers,
 		DefaultWorkload:   opts.DefaultWorkload,
 		RetainRuns:        opts.RetainRuns,
+		Tenants:           registry,
 	})
 	if len(recovered) > 0 {
-		ids := make([]string, len(recovered))
-		for i, r := range recovered {
-			ids[i] = r.ID
-		}
-		disp.Recover(ids)
+		disp.Recover(recovered)
 	}
 	return &Service{
 		store:           store,
@@ -203,6 +234,7 @@ func (s *Service) Stats() ServiceStats {
 		QueueDepth:  s.disp.QueueDepth(),
 		Dispatchers: s.disp.Dispatchers(),
 		Recovered:   s.recovered,
+		Tenants:     s.disp.TenantStats(),
 	}
 }
 

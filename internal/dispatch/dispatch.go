@@ -1,7 +1,18 @@
-// Package dispatch pulls queued runs off a bounded queue and executes them
-// on a pool of dispatcher goroutines, recording outcomes back into the run
-// store. It is the bridge between the dagd API surface (internal/server)
-// and the DAG engine (internal/gen + internal/sched).
+// Package dispatch admits queued runs into per-tenant bounded queues and
+// executes them on a pool of dispatcher goroutines, recording outcomes back
+// into the run store. It is the bridge between the dagd API surface
+// (internal/server) and the DAG engine (internal/gen + internal/sched).
+//
+// # Multi-tenant scheduling
+//
+// Every run belongs to a tenant (internal/tenant): submissions are
+// attributed at admission, rate-limited by the tenant's token bucket, and
+// bounded by the tenant's queue-depth quota. Dispatchers drain the queues
+// with strict priority between tenant priority classes and weighted
+// deficit round-robin within a class, so a single heavy tenant saturating
+// its own queue cannot starve anyone else: each rotation gives every
+// backlogged tenant `weight` runs. A tenant at its in-flight cap is
+// skipped — its queued work waits without blocking other tenants' queues.
 //
 // Each dispatcher executes one run at a time via run.Execute (the same
 // path the dagbench CLI uses): generate, serial reference, concurrent
@@ -9,32 +20,63 @@
 // registered in the store, so POST /v1/runs/{id}/cancel aborts the exact
 // run it names, and Shutdown can drain gracefully or force-cancel
 // everything in flight. Cancelling a run that is still queued removes it
-// from the queue immediately, freeing its slot for new submissions.
+// from its tenant's queue immediately, freeing the slot for new
+// submissions.
 package dispatch
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/tenant"
 )
 
 // Submission/shutdown errors.
 var (
-	// ErrQueueFull is returned by Submit when the bounded queue is at
-	// capacity; the caller should surface backpressure (HTTP 429).
+	// ErrQueueFull is returned by Submit when the tenant's queue is at the
+	// service-wide default depth; the caller should surface backpressure
+	// (HTTP 429).
 	ErrQueueFull = errors.New("dispatch: queue full")
+	// ErrQuotaExceeded is returned by Submit when the tenant's explicitly
+	// configured queue-depth quota is exhausted (HTTP 429).
+	ErrQuotaExceeded = errors.New("dispatch: tenant queue quota exceeded")
+	// ErrRateLimited is returned by Submit when the tenant's token bucket
+	// is empty; the wrapping RetryableError carries how long until the next
+	// token accrues (HTTP 429 + Retry-After).
+	ErrRateLimited = errors.New("dispatch: tenant submit rate exceeded")
 	// ErrShuttingDown is returned by Submit after Shutdown has begun.
 	ErrShuttingDown = errors.New("dispatch: shutting down")
 )
 
+// RetryableError wraps a backpressure rejection (ErrRateLimited,
+// ErrQuotaExceeded, ErrQueueFull) with the tenant it hit and a retry hint
+// the API layer surfaces as the Retry-After header.
+type RetryableError struct {
+	Err        error
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *RetryableError) Error() string {
+	return fmt.Sprintf("%v (tenant %q, retry after %v)", e.Err, e.Tenant, e.RetryAfter)
+}
+
+// Unwrap exposes the underlying sentinel to errors.Is.
+func (e *RetryableError) Unwrap() error { return e.Err }
+
 // Options configures a Dispatcher.
 type Options struct {
-	// QueueDepth bounds how many runs may wait in the queue. Zero or
-	// negative means 256.
+	// QueueDepth bounds how many runs may wait in a tenant's queue when the
+	// tenant config sets no MaxQueueDepth of its own. Zero or negative
+	// means 256.
 	QueueDepth int
 	// Dispatchers is the number of goroutines executing runs, i.e. how
 	// many runs proceed concurrently. Zero or negative means NumCPU.
@@ -50,6 +92,11 @@ type Options struct {
 	// oldest-finished are evicted past it. Zero means 4096; negative
 	// means unlimited retention.
 	RetainRuns int
+	// Tenants is the admission policy: weights, priority classes, quotas,
+	// and rate limits per tenant. Nil means a registry holding only the
+	// catch-all default tenant, which reproduces the pre-tenant behavior
+	// (one queue, QueueDepth bound, no rate limit).
+	Tenants *tenant.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -65,10 +112,91 @@ func (o Options) withDefaults() Options {
 	if o.RetainRuns == 0 {
 		o.RetainRuns = 4096
 	}
+	if o.Tenants == nil {
+		// NewRegistry(nil) cannot fail: there is nothing to validate.
+		o.Tenants, _ = tenant.NewRegistry(nil)
+	}
 	return o
 }
 
-// Dispatcher owns the bounded run queue and the goroutine pool draining it.
+// tenantQueue is one tenant's scheduling state. All fields are guarded by
+// the Dispatcher's mu.
+type tenantQueue struct {
+	cfg    tenant.Config
+	bucket *tenant.Bucket // nil when the tenant has no submit rate limit
+
+	queue    []string // pending run IDs, FIFO within the tenant
+	reserved int      // Submit slots held while store.Create runs outside mu
+	inflight int      // runs currently claimed by dispatchers
+	deficit  int      // deficit-round-robin credit within the priority class
+
+	// Monotonic counters for stats.
+	submitted   uint64 // runs admitted to the queue (including recoveries)
+	completed   uint64 // runs executed to a terminal state by a dispatcher
+	rejected    uint64 // submissions refused for queue depth / quota
+	rateLimited uint64 // submissions refused by the token bucket
+}
+
+// depth is the tenant's effective queue bound: its configured quota, or
+// the service-wide default.
+func (tq *tenantQueue) depth(serviceDefault int) int {
+	if tq.cfg.MaxQueueDepth > 0 {
+		return tq.cfg.MaxQueueDepth
+	}
+	return serviceDefault
+}
+
+// atInFlightCap reports whether the tenant may not start another run.
+func (tq *tenantQueue) atInFlightCap() bool {
+	return tq.cfg.MaxInFlight > 0 && tq.inflight >= tq.cfg.MaxInFlight
+}
+
+// priorityClass is the deficit-round-robin rotation over one priority
+// level's tenants. Guarded by the Dispatcher's mu.
+type priorityClass struct {
+	priority int
+	order    []*tenantQueue
+	cursor   int
+}
+
+// pick dequeues the next run ID this class should dispatch, or reports
+// false when no tenant in the class has an eligible queued run. It
+// implements unit-cost deficit round-robin: when the cursor reaches a
+// backlogged tenant with no credit left, the tenant is granted `weight`
+// credits and serves them one pick at a time before the cursor moves on —
+// so over a full rotation each backlogged tenant drains runs in proportion
+// to its weight. An empty queue forfeits its remaining credit (classic DRR:
+// idle tenants must not bank bursts); a tenant at its in-flight cap is
+// skipped with its credit intact and resumes when capacity frees up.
+func (cl *priorityClass) pick() (*tenantQueue, string, bool) {
+	n := len(cl.order)
+	for i := 0; i < n; i++ {
+		tq := cl.order[cl.cursor]
+		if len(tq.queue) == 0 {
+			tq.deficit = 0
+			cl.cursor = (cl.cursor + 1) % n
+			continue
+		}
+		if tq.atInFlightCap() {
+			cl.cursor = (cl.cursor + 1) % n
+			continue
+		}
+		if tq.deficit <= 0 {
+			tq.deficit = tq.cfg.Weight
+		}
+		tq.deficit--
+		id := tq.queue[0]
+		tq.queue = tq.queue[1:]
+		if tq.deficit <= 0 || len(tq.queue) == 0 {
+			cl.cursor = (cl.cursor + 1) % n
+		}
+		return tq, id, true
+	}
+	return nil, "", false
+}
+
+// Dispatcher owns the per-tenant run queues and the goroutine pool
+// draining them.
 type Dispatcher struct {
 	store run.Store
 	opts  Options
@@ -80,10 +208,11 @@ type Dispatcher struct {
 
 	wg sync.WaitGroup
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []string // pending run IDs, FIFO; length is the live backlog
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  map[string]*tenantQueue
+	classes []*priorityClass // strictly descending by priority
+	closed  bool
 }
 
 // New creates a Dispatcher recording into store (any run.Store — in-memory
@@ -97,8 +226,31 @@ func New(store run.Store, opts Options) *Dispatcher {
 		opts:       opts,
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		queues:     make(map[string]*tenantQueue),
 	}
 	d.cond = sync.NewCond(&d.mu)
+
+	byPriority := make(map[int]*priorityClass)
+	for _, cfg := range opts.Tenants.Configs() {
+		tq := &tenantQueue{cfg: cfg}
+		if cfg.SubmitRate > 0 {
+			tq.bucket = tenant.NewBucket(cfg.SubmitRate, cfg.SubmitBurst)
+		}
+		d.queues[cfg.Name] = tq
+		cl, ok := byPriority[cfg.Priority]
+		if !ok {
+			cl = &priorityClass{priority: cfg.Priority}
+			byPriority[cfg.Priority] = cl
+			d.classes = append(d.classes, cl)
+		}
+		cl.order = append(cl.order, tq)
+	}
+	sort.Slice(d.classes, func(i, j int) bool { return d.classes[i].priority > d.classes[j].priority })
+	// Deterministic rotation order within each class.
+	for _, cl := range d.classes {
+		sort.Slice(cl.order, func(i, j int) bool { return cl.order[i].cfg.Name < cl.order[j].cfg.Name })
+	}
+
 	for i := 0; i < opts.Dispatchers; i++ {
 		d.wg.Add(1)
 		go d.loop()
@@ -106,14 +258,35 @@ func New(store run.Store, opts Options) *Dispatcher {
 	return d
 }
 
-// QueueDepth returns the queue capacity (for health reporting).
+// queueForLocked returns the queue a tenant name schedules into: the named
+// tenant's own queue, or the catch-all default's. The registry is static
+// for the dispatcher's lifetime, so the mapping never changes — a run
+// enqueued, cancelled, or recovered under a name always lands on the same
+// queue.
+func (d *Dispatcher) queueForLocked(name string) *tenantQueue {
+	if tq, ok := d.queues[name]; ok {
+		return tq
+	}
+	return d.queues[tenant.Default]
+}
+
+// QueueDepth returns the default per-tenant queue capacity (for health
+// reporting); tenants with a configured MaxQueueDepth use that instead.
 func (d *Dispatcher) QueueDepth() int { return d.opts.QueueDepth }
 
-// QueueLen returns how many runs are currently waiting.
+// QueueLen returns how many runs are currently waiting across all tenants.
 func (d *Dispatcher) QueueLen() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.queue)
+	return d.queuedLocked()
+}
+
+func (d *Dispatcher) queuedLocked() int {
+	n := 0
+	for _, tq := range d.queues {
+		n += len(tq.queue)
+	}
+	return n
 }
 
 // Dispatchers returns the pool size.
@@ -128,68 +301,160 @@ func (d *Dispatcher) Draining() bool {
 	return d.closed
 }
 
-// Submit validates spec, registers a queued run, and enqueues it. It never
-// blocks: a full queue fails fast with ErrQueueFull and no run is left
-// behind in the store.
+// TenantStats is one tenant's scheduling snapshot, surfaced per tenant in
+// the service stats.
+type TenantStats struct {
+	Weight      int    `json:"weight"`
+	Priority    int    `json:"priority,omitempty"`
+	Queued      int    `json:"queued"`
+	InFlight    int    `json:"in_flight"`
+	Submitted   uint64 `json:"submitted"`
+	Completed   uint64 `json:"completed"`
+	Rejected    uint64 `json:"rejected,omitempty"`
+	RateLimited uint64 `json:"rate_limited,omitempty"`
+}
+
+// TenantStats snapshots every tenant's queue state and counters.
+func (d *Dispatcher) TenantStats() map[string]TenantStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]TenantStats, len(d.queues))
+	for name, tq := range d.queues {
+		out[name] = TenantStats{
+			Weight:      tq.cfg.Weight,
+			Priority:    tq.cfg.Priority,
+			Queued:      len(tq.queue),
+			InFlight:    tq.inflight,
+			Submitted:   tq.submitted,
+			Completed:   tq.completed,
+			Rejected:    tq.rejected,
+			RateLimited: tq.rateLimited,
+		}
+	}
+	return out
+}
+
+// Submit resolves the spec's tenant, enforces the tenant's rate limit and
+// queue quota, validates the spec, registers a queued run, and enqueues
+// it. It never blocks on execution: backpressure fails fast with a
+// RetryableError wrapping ErrRateLimited, ErrQuotaExceeded, or
+// ErrQueueFull, and no run is left behind in the store.
+//
+// The store.Create call — which may fsync a WAL record — runs outside the
+// queue lock: Submit reserves the tenant's queue slot under the lock,
+// creates, then converts the reservation into a real queue entry. Other
+// submissions, cancellations, and dispatcher pops proceed during the disk
+// write.
 func (d *Dispatcher) Submit(spec run.Spec) (run.Run, error) {
-	// Stamp the service default before validation so the stored spec (and
-	// any 400 for a bad default) reflects what will actually execute.
+	// Stamp the service defaults before validation so the stored spec (and
+	// any 400 for a bad default) reflects what will actually execute. The
+	// tenant attribution is resolved here — never trusted from the spec —
+	// so unknown names collapse onto the catch-all default tenant.
 	if spec.Workload == "" {
 		spec.Workload = d.opts.DefaultWorkload
 	}
+	cfg := d.opts.Tenants.Resolve(spec.Tenant)
+	spec.Tenant = cfg.Name
+	spec.Priority = cfg.Priority
 	if err := spec.Validate(); err != nil {
 		return run.Run{}, err
 	}
+
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return run.Run{}, ErrShuttingDown
 	}
-	if len(d.queue) >= d.opts.QueueDepth {
-		return run.Run{}, ErrQueueFull
+	tq := d.queueForLocked(cfg.Name)
+	if tq.bucket != nil {
+		if ok, retry := tq.bucket.Take(); !ok {
+			tq.rateLimited++
+			d.mu.Unlock()
+			return run.Run{}, &RetryableError{Err: ErrRateLimited, Tenant: cfg.Name, RetryAfter: retry}
+		}
 	}
+	if len(tq.queue)+tq.reserved >= tq.depth(d.opts.QueueDepth) {
+		tq.rejected++
+		sentinel := ErrQueueFull
+		if tq.cfg.MaxQueueDepth > 0 {
+			sentinel = ErrQuotaExceeded
+		}
+		d.mu.Unlock()
+		return run.Run{}, &RetryableError{Err: sentinel, Tenant: cfg.Name, RetryAfter: time.Second}
+	}
+	tq.reserved++
+	d.mu.Unlock()
+
 	r, err := d.store.Create(spec)
+
+	d.mu.Lock()
+	tq.reserved--
 	if err != nil {
+		d.mu.Unlock()
 		// Durable stores refuse to admit a run they could not log; surface
 		// the failure instead of accepting work that a restart would lose.
 		return run.Run{}, err
 	}
-	d.queue = append(d.queue, r.ID)
+	if d.closed {
+		d.mu.Unlock()
+		// Shutdown began while the record was being written; the pool may
+		// already have drained, so enqueuing now could strand the run in
+		// queued forever. Roll the create back — the ID never escaped.
+		if derr := d.store.Delete(r.ID); derr != nil {
+			log.Printf("dispatch: rolling back %s admitted during shutdown: %v", r.ID, derr)
+		}
+		return run.Run{}, ErrShuttingDown
+	}
+	tq.queue = append(tq.queue, r.ID)
+	tq.submitted++
 	d.cond.Signal()
+	d.mu.Unlock()
 	return r, nil
 }
 
 // Recover enqueues runs that already exist in the store as queued — the
-// interrupted runs a durable store re-admitted during crash recovery. It
-// deliberately ignores QueueDepth: recovered work was admitted before the
-// restart, and dropping it now would turn a crash into silent data loss.
-// The transient over-depth backlog drains like any other. Returns how many
-// runs were enqueued (zero after Shutdown has begun).
-func (d *Dispatcher) Recover(ids []string) int {
+// interrupted runs a durable store re-admitted during crash recovery —
+// each into its owning tenant's queue (runs whose tenant is no longer
+// configured drain through the catch-all default queue, keeping their
+// original attribution). It deliberately ignores queue-depth quotas:
+// recovered work was admitted before the restart, and dropping it now
+// would turn a crash into silent data loss. The transient over-depth
+// backlog drains like any other. Returns how many runs were enqueued
+// (zero after Shutdown has begun).
+func (d *Dispatcher) Recover(runs []run.Run) int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return 0
 	}
-	d.queue = append(d.queue, ids...)
+	for _, r := range runs {
+		tq := d.queueForLocked(r.Spec.Tenant)
+		tq.queue = append(tq.queue, r.ID)
+		tq.submitted++
+	}
 	d.cond.Broadcast()
-	return len(ids)
+	return len(runs)
 }
 
 // Cancel requests cancellation of the identified run (see run.Store.Cancel
 // for the state semantics). A run cancelled while still queued is removed
-// from the queue immediately, so its slot is free for new submissions.
+// from its tenant's queue immediately, so the slot is free for new
+// submissions.
 func (d *Dispatcher) Cancel(id string) (run.Run, error) {
 	r, err := d.store.Cancel(id)
 	if err == nil && r.State == run.StateCancelled && r.StartedAt == nil {
 		// Cancelled straight out of the queue: drop the pending entry.
 		d.mu.Lock()
-		for i, qid := range d.queue {
+		tq := d.queueForLocked(r.Spec.Tenant)
+		for i, qid := range tq.queue {
 			if qid == id {
-				d.queue = append(d.queue[:i], d.queue[i+1:]...)
+				tq.queue = append(tq.queue[:i], tq.queue[i+1:]...)
 				break
 			}
 		}
+		// Draining dispatchers may be waiting for exactly this queue to
+		// empty.
+		d.cond.Broadcast()
 		d.mu.Unlock()
 	}
 	return r, err
@@ -222,37 +487,57 @@ func (d *Dispatcher) Shutdown(ctx context.Context) error {
 	}
 }
 
-// next blocks until a run ID is available or the queue is closed and
-// drained; ok is false only on the latter.
-func (d *Dispatcher) next() (id string, ok bool) {
+// next blocks until a run is scheduled to this dispatcher or the queues
+// are closed and drained; ok is false only on the latter. The returned
+// tenantQueue has had its in-flight count incremented — the caller owes a
+// release.
+func (d *Dispatcher) next() (id string, tq *tenantQueue, ok bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for len(d.queue) == 0 && !d.closed {
+	for {
+		for _, cl := range d.classes {
+			if q, picked, found := cl.pick(); found {
+				q.inflight++
+				return picked, q, true
+			}
+		}
+		// Nothing eligible. During a drain, queued runs stuck behind an
+		// in-flight cap still count as pending work: a release will
+		// broadcast and re-run the pick.
+		if d.closed && d.queuedLocked() == 0 {
+			return "", nil, false
+		}
 		d.cond.Wait()
 	}
-	if len(d.queue) == 0 {
-		return "", false
-	}
-	id = d.queue[0]
-	d.queue = d.queue[1:]
-	return id, true
 }
 
-// loop is one dispatcher goroutine: pop, execute, repeat until the queue
-// closes and drains.
+// release returns a claimed in-flight slot, waking dispatchers that may
+// have been skipping the tenant at its cap (and drain waiters).
+func (d *Dispatcher) release(tq *tenantQueue, completed bool) {
+	d.mu.Lock()
+	tq.inflight--
+	if completed {
+		tq.completed++
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// loop is one dispatcher goroutine: pop, execute, repeat until the queues
+// close and drain.
 func (d *Dispatcher) loop() {
 	defer d.wg.Done()
 	for {
-		id, ok := d.next()
+		id, tq, ok := d.next()
 		if !ok {
 			return
 		}
-		d.execute(id)
+		d.execute(id, tq)
 	}
 }
 
 // execute runs one queued run end to end and records its outcome.
-func (d *Dispatcher) execute(id string) {
+func (d *Dispatcher) execute(id string, tq *tenantQueue) {
 	ctx, cancel := context.WithCancel(d.baseCtx)
 	defer cancel()
 
@@ -261,6 +546,7 @@ func (d *Dispatcher) execute(id string) {
 		if errors.Is(err, run.ErrNotQueued) || errors.Is(err, run.ErrNotFound) {
 			// Cancelled while queued and popped before Cancel could unlink
 			// it (or rolled back): the run never became ours to execute.
+			d.release(tq, false)
 			return
 		}
 		// Anything else is a durable-store append failure — the in-memory
@@ -277,5 +563,6 @@ func (d *Dispatcher) execute(id string) {
 		// not survive a restart. Nothing the dispatcher can do beyond log.
 		log.Printf("dispatch: recording finish of %s: %v", id, ferr)
 	}
+	d.release(tq, true)
 	d.store.EvictTerminal(d.opts.RetainRuns)
 }

@@ -3,11 +3,14 @@ package dispatch
 import (
 	"context"
 	"errors"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/tenant"
 )
 
 func newDispatcher(t *testing.T, opts Options) (run.Store, *Dispatcher) {
@@ -347,5 +350,417 @@ func TestExecuteSurvivesBeginLogFailure(t *testing.T) {
 	got := waitForState(t, store, r.ID, run.StateSucceeded)
 	if got.Result == nil || !got.Result.Match {
 		t.Fatalf("run finished without a matching result: %+v", got)
+	}
+}
+
+// mustRegistry builds a tenant registry or fails the test.
+func mustRegistry(t *testing.T, cfgs ...tenant.Config) *tenant.Registry {
+	t.Helper()
+	reg, err := tenant.NewRegistry(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// plugDispatcher submits a long cancellable run on the default tenant and
+// waits until it occupies the (single) dispatcher, so subsequent
+// submissions pile up in their tenant queues. Returns the plug's ID.
+func plugDispatcher(t *testing.T, store run.Store, d *Dispatcher) string {
+	t.Helper()
+	plug, err := d.Submit(pipelineSpec(40000, 4, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, store, plug.ID, run.StateRunning)
+	return plug.ID
+}
+
+func tenantSpec(name string, stages, width, work int) run.Spec {
+	s := pipelineSpec(stages, width, work)
+	s.Tenant = name
+	return s
+}
+
+// TestTenantAttributionStamped: Submit resolves the spec's tenant through
+// the registry — configured names stick (with the class stamped), unknown
+// names collapse onto the catch-all default.
+func TestTenantAttributionStamped(t *testing.T) {
+	reg := mustRegistry(t, tenant.Config{Name: "known", Priority: 3})
+	store, d := newDispatcher(t, Options{QueueDepth: 8, Dispatchers: 1, Tenants: reg})
+
+	r, err := d.Submit(tenantSpec("known", 5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spec.Tenant != "known" || r.Spec.Priority != 3 {
+		t.Errorf("stored spec attribution = %q/%d, want known/3", r.Spec.Tenant, r.Spec.Priority)
+	}
+	u, err := d.Submit(tenantSpec("never-configured", 5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Spec.Tenant != tenant.Default {
+		t.Errorf("unknown tenant stored as %q, want %q", u.Spec.Tenant, tenant.Default)
+	}
+	waitForState(t, store, r.ID, run.StateSucceeded)
+	waitForState(t, store, u.ID, run.StateSucceeded)
+}
+
+// TestWeightedFairness is the starvation acceptance test: with one
+// dispatcher and two equal-weight tenants, a light tenant that queued 10
+// runs gets ~half of the first 20 completions even though a heavy tenant
+// queued 20 runs first — DRR interleaves the queues instead of draining
+// FIFO by arrival.
+func TestWeightedFairness(t *testing.T) {
+	reg := mustRegistry(t,
+		tenant.Config{Name: "heavy", Weight: 1},
+		tenant.Config{Name: "light", Weight: 1},
+	)
+	store, d := newDispatcher(t, Options{QueueDepth: 64, Dispatchers: 1, Tenants: reg})
+	plugID := plugDispatcher(t, store, d)
+
+	var heavy, light []string
+	for i := 0; i < 20; i++ {
+		r, err := d.Submit(tenantSpec("heavy", 5, 2, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		heavy = append(heavy, r.ID)
+	}
+	for i := 0; i < 10; i++ {
+		r, err := d.Submit(tenantSpec("light", 5, 2, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		light = append(light, r.ID)
+	}
+	if _, err := d.Cancel(plugID); err != nil {
+		t.Fatal(err)
+	}
+
+	type done struct {
+		tenant string
+		at     time.Time
+	}
+	var finished []done
+	for _, batch := range []struct {
+		name string
+		ids  []string
+	}{{"heavy", heavy}, {"light", light}} {
+		for _, id := range batch.ids {
+			got := waitForState(t, store, id, run.StateSucceeded)
+			finished = append(finished, done{batch.name, *got.FinishedAt})
+		}
+	}
+	sort.Slice(finished, func(i, j int) bool { return finished[i].at.Before(finished[j].at) })
+
+	lightDone := 0
+	for _, f := range finished[:20] {
+		if f.tenant == "light" {
+			lightDone++
+		}
+	}
+	// Exact DRR alternation gives 10/20; anything under the acceptance
+	// floor (~40%) means the light tenant was starved behind the backlog.
+	if lightDone < 8 {
+		t.Errorf("light tenant got %d of the first 20 completions, want >= 8 (fair share)", lightDone)
+	}
+}
+
+// TestPriorityClassDrainsFirst: with both classes backlogged, every
+// higher-class run completes before any lower-class run starts.
+func TestPriorityClassDrainsFirst(t *testing.T) {
+	reg := mustRegistry(t,
+		tenant.Config{Name: "batch", Priority: 0},
+		tenant.Config{Name: "interactive", Priority: 1},
+	)
+	store, d := newDispatcher(t, Options{QueueDepth: 64, Dispatchers: 1, Tenants: reg})
+	plugID := plugDispatcher(t, store, d)
+
+	var lowIDs, highIDs []string
+	for i := 0; i < 10; i++ {
+		r, err := d.Submit(tenantSpec("batch", 5, 2, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lowIDs = append(lowIDs, r.ID)
+	}
+	for i := 0; i < 5; i++ {
+		r, err := d.Submit(tenantSpec("interactive", 5, 2, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		highIDs = append(highIDs, r.ID)
+	}
+	if _, err := d.Cancel(plugID); err != nil {
+		t.Fatal(err)
+	}
+
+	var lastHigh, firstLow time.Time
+	for _, id := range highIDs {
+		got := waitForState(t, store, id, run.StateSucceeded)
+		if got.FinishedAt.After(lastHigh) {
+			lastHigh = *got.FinishedAt
+		}
+	}
+	for _, id := range lowIDs {
+		got := waitForState(t, store, id, run.StateSucceeded)
+		if firstLow.IsZero() || got.StartedAt.Before(firstLow) {
+			firstLow = *got.StartedAt
+		}
+	}
+	if firstLow.Before(lastHigh) {
+		t.Errorf("a batch (priority 0) run started at %v before the interactive (priority 1) backlog drained at %v",
+			firstLow, lastHigh)
+	}
+}
+
+// TestInFlightCapSkipsNotBlocks: a tenant at its in-flight cap is passed
+// over, leaving the dispatcher free for other tenants, and its queued work
+// resumes once the cap frees up.
+func TestInFlightCapSkipsNotBlocks(t *testing.T) {
+	reg := mustRegistry(t,
+		tenant.Config{Name: "capped", MaxInFlight: 1},
+		tenant.Config{Name: "free"},
+	)
+	store, d := newDispatcher(t, Options{QueueDepth: 16, Dispatchers: 2, Tenants: reg})
+
+	first, err := d.Submit(tenantSpec("capped", 40000, 4, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, store, first.ID, run.StateRunning)
+	second, err := d.Submit(tenantSpec("capped", 5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The second dispatcher must skip the capped tenant's queued run and
+	// pick up other tenants' work instead.
+	other, err := d.Submit(tenantSpec("free", 5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, store, other.ID, run.StateSucceeded)
+	if got, err := store.Get(second.ID); err != nil || got.State != run.StateQueued {
+		t.Fatalf("capped tenant's second run = %v state %s, want still queued", err, got.State)
+	}
+
+	// Releasing the cap (cancelling the hog) lets the queued run proceed.
+	if _, err := d.Cancel(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, store, second.ID, run.StateSucceeded)
+}
+
+// TestSubmitRateLimited: past the token bucket, Submit fails fast with
+// ErrRateLimited and a positive Retry-After hint naming the tenant.
+func TestSubmitRateLimited(t *testing.T) {
+	reg := mustRegistry(t, tenant.Config{Name: "limited", SubmitRate: 0.01, SubmitBurst: 1})
+	_, d := newDispatcher(t, Options{QueueDepth: 8, Dispatchers: 1, Tenants: reg})
+
+	if _, err := d.Submit(tenantSpec("limited", 5, 2, 0)); err != nil {
+		t.Fatalf("first submit within burst: %v", err)
+	}
+	_, err := d.Submit(tenantSpec("limited", 5, 2, 0))
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("second submit = %v, want ErrRateLimited", err)
+	}
+	var re *RetryableError
+	if !errors.As(err, &re) {
+		t.Fatalf("rate-limit error %v is not a *RetryableError", err)
+	}
+	if re.Tenant != "limited" || re.RetryAfter <= 0 {
+		t.Errorf("RetryableError = %+v, want tenant limited and positive RetryAfter", re)
+	}
+	// Other tenants are unaffected.
+	if _, err := d.Submit(pipelineSpec(5, 2, 0)); err != nil {
+		t.Errorf("default-tenant submit during another tenant's rate limiting: %v", err)
+	}
+}
+
+// TestQuotaExceeded: a tenant's configured MaxQueueDepth rejects with
+// ErrQuotaExceeded (not the generic ErrQueueFull) and leaves other tenants
+// untouched.
+func TestQuotaExceeded(t *testing.T) {
+	reg := mustRegistry(t, tenant.Config{Name: "small", MaxQueueDepth: 1})
+	store, d := newDispatcher(t, Options{QueueDepth: 64, Dispatchers: 1, Tenants: reg})
+	plugID := plugDispatcher(t, store, d)
+
+	if _, err := d.Submit(tenantSpec("small", 5, 2, 0)); err != nil {
+		t.Fatalf("first queued submit within quota: %v", err)
+	}
+	_, err := d.Submit(tenantSpec("small", 5, 2, 0))
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota submit = %v, want ErrQuotaExceeded", err)
+	}
+	if errors.Is(err, ErrQueueFull) {
+		t.Error("quota rejection also matches ErrQueueFull; codes must stay distinct")
+	}
+	var re *RetryableError
+	if !errors.As(err, &re) || re.Tenant != "small" {
+		t.Fatalf("quota error %v does not carry the tenant", err)
+	}
+	// The default tenant still has its own (service-default) depth.
+	if _, err := d.Submit(pipelineSpec(5, 2, 0)); err != nil {
+		t.Errorf("default-tenant submit while another tenant is at quota: %v", err)
+	}
+	if _, err := d.Cancel(plugID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverRoutesToOwningTenantQueue: recovered runs land in their own
+// tenant's queue — and runs attributed to a tenant that is no longer
+// configured drain through the default queue while keeping their recorded
+// attribution.
+func TestRecoverRoutesToOwningTenantQueue(t *testing.T) {
+	reg := mustRegistry(t,
+		tenant.Config{Name: "alpha"},
+		tenant.Config{Name: "beta"},
+	)
+	store, d := newDispatcher(t, Options{QueueDepth: 16, Dispatchers: 1, Tenants: reg})
+	plugID := plugDispatcher(t, store, d)
+
+	var recovered []run.Run
+	for _, name := range []string{"alpha", "beta", "ghost"} {
+		r, err := store.Create(tenantSpec(name, 5, 2, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recovered = append(recovered, r)
+	}
+	if n := d.Recover(recovered); n != 3 {
+		t.Fatalf("Recover admitted %d runs, want 3", n)
+	}
+
+	stats := d.TenantStats()
+	if stats["alpha"].Queued != 1 || stats["beta"].Queued != 1 {
+		t.Errorf("per-tenant queued = alpha:%d beta:%d, want 1 each", stats["alpha"].Queued, stats["beta"].Queued)
+	}
+	// "ghost" is unconfigured: its run drains via the default queue.
+	if stats[tenant.Default].Queued != 1 {
+		t.Errorf("default queue holds %d recovered runs, want 1 (the unconfigured tenant's)", stats[tenant.Default].Queued)
+	}
+
+	if _, err := d.Cancel(plugID); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recovered {
+		got := waitForState(t, store, r.ID, run.StateSucceeded)
+		if got.Spec.Tenant != r.Spec.Tenant {
+			t.Errorf("run %s attribution changed across recovery: %q -> %q", r.ID, r.Spec.Tenant, got.Spec.Tenant)
+		}
+	}
+}
+
+// TestQueuedCancelPoppedBeforeUnlink is the regression test for the race
+// where a dispatcher pops an ID after store.Cancel succeeded but before
+// Dispatcher.Cancel unlinks it from the queue: Begin returns ErrNotQueued
+// and the dispatcher must skip the run — never execute it — and free the
+// slot for the next one. Cancelling through the store directly models the
+// lost race deterministically (the queue entry is never unlinked at all).
+func TestQueuedCancelPoppedBeforeUnlink(t *testing.T) {
+	store, d := newDispatcher(t, Options{QueueDepth: 8, Dispatchers: 1})
+	plugID := plugDispatcher(t, store, d)
+
+	victim, err := d.Submit(pipelineSpec(5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := d.Submit(pipelineSpec(5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bypass Dispatcher.Cancel so the stale ID stays in the queue — exactly
+	// the window where a dispatcher pops before the unlink runs.
+	if _, err := store.Cancel(victim.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Cancel(plugID); err != nil {
+		t.Fatal(err)
+	}
+	// The follower completing proves the dispatcher skipped the stale entry
+	// without wedging or leaking the slot.
+	waitForState(t, store, follower.ID, run.StateSucceeded)
+	got, err := store.Get(victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != run.StateCancelled || got.StartedAt != nil {
+		t.Errorf("raced-cancel run = state %s started %v, want cancelled and never started", got.State, got.StartedAt)
+	}
+}
+
+// blockingCreateStore parks every Create until released, modeling a WAL
+// store mid-fsync.
+type blockingCreateStore struct {
+	run.Store
+	entered chan struct{} // closed when the first Create is reached
+	release chan struct{} // Create returns once this closes
+	once    sync.Once
+}
+
+func (s *blockingCreateStore) Create(spec run.Spec) (run.Run, error) {
+	s.once.Do(func() { close(s.entered) })
+	<-s.release
+	return s.Store.Create(spec)
+}
+
+// TestSubmitDoesNotHoldLockAcrossCreate pins the satellite fix: with
+// store.Create blocked (an fsync in flight), QueueLen and other
+// submissions' backpressure checks must not block behind it.
+func TestSubmitDoesNotHoldLockAcrossCreate(t *testing.T) {
+	store := &blockingCreateStore{
+		Store:   run.NewMemStore(),
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	d := New(store, Options{QueueDepth: 1, Dispatchers: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+	})
+
+	submitted := make(chan error, 1)
+	go func() {
+		_, err := d.Submit(pipelineSpec(5, 2, 0))
+		submitted <- err
+	}()
+	<-store.entered
+
+	// The queue lock must be free while Create is in flight.
+	lens := make(chan int, 1)
+	go func() { lens <- d.QueueLen() }()
+	select {
+	case n := <-lens:
+		if n != 0 {
+			t.Errorf("QueueLen during Create = %d, want 0 (slot reserved, not enqueued)", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("QueueLen blocked behind an in-flight store.Create")
+	}
+
+	// The reservation still counts against the depth: a concurrent submit
+	// sees the depth-1 queue as full instead of over-admitting.
+	overflow := make(chan error, 1)
+	go func() {
+		_, err := d.Submit(pipelineSpec(5, 2, 0))
+		overflow <- err
+	}()
+	select {
+	case err := <-overflow:
+		if !errors.Is(err, ErrQueueFull) {
+			t.Errorf("submit during reserved Create = %v, want ErrQueueFull", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second Submit blocked behind the first's store.Create")
+	}
+
+	close(store.release)
+	if err := <-submitted; err != nil {
+		t.Fatalf("blocked submit failed after release: %v", err)
 	}
 }

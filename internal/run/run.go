@@ -25,6 +25,7 @@ import (
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/sched"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/tenant"
 )
 
 // State is a run's lifecycle state.
@@ -97,6 +98,16 @@ type Spec struct {
 	Workload string `json:"workload,omitempty"` // registered workload name; "" = the default (pathcount)
 	Work     int    `json:"work,omitempty"`     // busy-work iterations per node (Nabbit W)
 	Workers  int    `json:"workers,omitempty"`  // per-run worker pool size; 0 = service default
+	// Tenant is the owning tenant's name. The dispatcher stamps it at
+	// admission from the resolved X-Tenant identity (never trusted from the
+	// request body), it rides every WAL record, and crash recovery requeues
+	// the run into this tenant's queue. Empty on legacy records; replay
+	// treats those as the catch-all "default" tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the tenant's priority class at admission time, stamped by
+	// the dispatcher alongside Tenant. Recorded for attribution; scheduling
+	// always uses the tenant's current configured class.
+	Priority int `json:"priority,omitempty"`
 }
 
 // Spec validation bounds. The service executes untrusted specs, so sizes
@@ -134,6 +145,12 @@ func (s Spec) Validate() error {
 	}
 	if s.Workers < 0 || s.Workers > MaxWorkers {
 		return fmt.Errorf("%w: workers %d outside [0,%d]", ErrInvalidSpec, s.Workers, MaxWorkers)
+	}
+	// The dispatcher stamps Tenant with a registry-resolved name before
+	// validation; this bound only guards direct store users (and replayed
+	// logs) against junk attribution strings growing every WAL record.
+	if len(s.Tenant) > tenant.MaxNameLen {
+		return fmt.Errorf("%w: tenant name longer than %d bytes", ErrInvalidSpec, tenant.MaxNameLen)
 	}
 	if _, err := sched.LookupWorkload(s.Workload); err != nil {
 		return fmt.Errorf("%w: %v", ErrUnknownWorkload, err)

@@ -2,7 +2,9 @@ package server
 
 import (
 	"errors"
+	"math"
 	"net/http"
+	"strconv"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/core"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/pkg/api"
@@ -31,6 +33,8 @@ var errorMapping = []struct {
 	{core.ErrRunNotFound, http.StatusNotFound, api.CodeNotFound},
 	{core.ErrRunTerminal, http.StatusConflict, api.CodeRunTerminal},
 	{core.ErrQueueFull, http.StatusTooManyRequests, api.CodeQueueFull},
+	{core.ErrRateLimited, http.StatusTooManyRequests, api.CodeRateLimited},
+	{core.ErrQuotaExceeded, http.StatusTooManyRequests, api.CodeQuotaExceeded},
 	{core.ErrShuttingDown, http.StatusServiceUnavailable, api.CodeShuttingDown},
 }
 
@@ -51,9 +55,26 @@ func classify(err error) (int, api.Code) {
 
 // writeError emits the structured v1 error envelope
 // {"error":{"code":...,"message":...,"details":...}} for err; details may
-// be nil.
+// be nil. Backpressure errors (a core.RetryableError in the chain) also
+// carry a Retry-After header and retry details, so well-behaved clients
+// can back off for exactly as long as the tenant's token bucket needs.
 func writeError(w http.ResponseWriter, err error, details map[string]any) {
 	status, code := classify(err)
+	var retryable *core.RetryableError
+	if errors.As(err, &retryable) {
+		// Retry-After is whole seconds; round up so a 300ms token deficit
+		// doesn't advertise "retry immediately".
+		secs := int64(math.Ceil(retryable.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		if details == nil {
+			details = map[string]any{}
+		}
+		details["tenant"] = retryable.Tenant
+		details["retry_after_ms"] = retryable.RetryAfter.Milliseconds()
+	}
 	writeJSON(w, status, api.ErrorEnvelope{Error: &api.Error{
 		Code:    code,
 		Message: err.Error(),

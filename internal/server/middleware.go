@@ -4,6 +4,7 @@ import (
 	crand "crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strings"
 	"time"
@@ -60,6 +61,33 @@ func (rw *responseWriter) Write(b []byte) (int, error) {
 		rw.status = http.StatusOK
 	}
 	return rw.ResponseWriter.Write(b)
+}
+
+// maxTenantHeaderLen bounds the X-Tenant header before it reaches the
+// service layer; tenant.MaxNameLen bounds what is stored, but junk longer
+// than this is rejected up front rather than silently attributed to
+// "default".
+const maxTenantHeaderLen = 128
+
+// tenantOf extracts the requester's tenant identity from the X-Tenant
+// header. An absent or empty header means the catch-all default tenant
+// (the service resolves the empty string to it); a syntactically invalid
+// header — overlong, or containing whitespace/control bytes — is a client
+// error, not an identity.
+func tenantOf(r *http.Request) (string, error) {
+	name := r.Header.Get("X-Tenant")
+	if name == "" {
+		return "", nil
+	}
+	if len(name) > maxTenantHeaderLen {
+		return "", fmt.Errorf("X-Tenant header longer than %d bytes", maxTenantHeaderLen)
+	}
+	for _, c := range name {
+		if c <= ' ' || c == 0x7f {
+			return "", fmt.Errorf("X-Tenant header contains whitespace or control characters")
+		}
+	}
+	return name, nil
 }
 
 // newRequestID returns a short random hex ID for request correlation.

@@ -1,19 +1,24 @@
 // Package server exposes the dagd run service over a JSON HTTP API:
 //
 //	POST /v1/runs             submit a run spec (generated or explicit DAG), returns 202 + the queued run
-//	GET  /v1/runs             list runs (?state= filter, ?limit=&cursor= pagination)
+//	GET  /v1/runs             list runs (?state=/?tenant= filters, ?limit=&cursor= pagination)
 //	GET  /v1/runs/{id}        poll one run's status/result (?wait=1s long-polls until terminal)
 //	POST /v1/runs/{id}/cancel request cancellation
 //	GET  /v1/workloads        list registered workloads + the service default
 //	GET  /healthz             liveness + queue stats (stays 200 while draining)
 //	GET  /readyz              readiness; 503 shutting_down once shutdown starts
 //
+// Submissions are attributed to the tenant named by the X-Tenant header
+// (absent/empty = the catch-all "default" tenant); per-tenant quotas and
+// rate limits reject with 429 + a computed Retry-After header.
+//
 // Every 4xx/5xx response carries the structured envelope defined in
 // pkg/api: {"error":{"code":"...","message":"...","details":{...}}}. The
 // sentinel→code/status mapping lives in one table (errors.go): 400
 // invalid_request/invalid_spec/unknown_workload, 404 not_found, 405
 // method_not_allowed, 409 run_terminal, 413 request_too_large, 415
-// unsupported_media_type, 429 queue_full, 503 shutting_down, 500 internal.
+// unsupported_media_type, 429 queue_full/rate_limited/quota_exceeded,
+// 503 shutting_down, 500 internal.
 package server
 
 import (
@@ -129,6 +134,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	tenantName, err := tenantOf(r)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", errInvalidRequest, err), nil)
+		return
+	}
 	var spec core.RunSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
@@ -138,6 +148,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: decoding spec: %w", errInvalidRequest, err), nil)
 		return
 	}
+	// Identity comes from the header, never the body: a spec-carried tenant
+	// (or priority) would let any client bill its runs to someone else's
+	// quota. The dispatcher overwrites both with the resolved values.
+	spec.Tenant = tenantName
+	spec.Priority = 0
 	rr, err := s.svc.Submit(spec)
 	if err != nil {
 		var details map[string]any
@@ -162,6 +177,17 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		filtered := runs[:0]
 		for _, rr := range runs {
 			if rr.State == state {
+				filtered = append(filtered, rr)
+			}
+		}
+		runs = filtered
+	}
+	if want := q.Get("tenant"); want != "" {
+		// Exact match on the stored attribution. "default" also matches
+		// legacy WAL records, which replay with that tenant stamped.
+		filtered := runs[:0]
+		for _, rr := range runs {
+			if rr.Spec.Tenant == want {
 				filtered = append(filtered, rr)
 			}
 		}

@@ -657,3 +657,267 @@ func newLocalListener(t *testing.T) net.Listener {
 	}
 	return ln
 }
+
+// doJSONTenant is doJSON with an X-Tenant header, returning the raw
+// response for header assertions.
+func doJSONTenant(t *testing.T, method, url, tenant, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if len(raw) > 0 && strings.Contains(resp.Header.Get("Content-Type"), "json") {
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, raw, err)
+		}
+	}
+	return resp, decoded
+}
+
+func specTenant(t *testing.T, body map[string]any) string {
+	t.Helper()
+	spec, _ := body["spec"].(map[string]any)
+	if spec == nil {
+		t.Fatalf("run body has no spec: %v", body)
+	}
+	name, _ := spec["tenant"].(string)
+	return name
+}
+
+// TestTenantHeaderAttribution: X-Tenant decides attribution — configured
+// names stick, unknown or absent ones collapse to "default", and a
+// body-smuggled tenant never wins over the header.
+func TestTenantHeaderAttribution(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{
+		QueueDepth:  8,
+		Dispatchers: 1,
+		Tenants:     []core.TenantConfig{{Name: "alpha", Priority: 2}},
+	})
+	spec := `{"shape":"pipeline","stages":5,"width":2}`
+
+	resp, body := doJSONTenant(t, http.MethodPost, ts.URL+"/v1/runs", "alpha", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit as alpha: status %d body %v", resp.StatusCode, body)
+	}
+	if got := specTenant(t, body); got != "alpha" {
+		t.Errorf("attribution = %q, want alpha", got)
+	}
+	if prio, _ := body["spec"].(map[string]any)["priority"].(float64); prio != 2 {
+		t.Errorf("stamped priority = %v, want 2", prio)
+	}
+
+	resp, body = doJSONTenant(t, http.MethodPost, ts.URL+"/v1/runs", "never-configured", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit as unknown tenant: status %d", resp.StatusCode)
+	}
+	if got := specTenant(t, body); got != "default" {
+		t.Errorf("unknown tenant attributed to %q, want default", got)
+	}
+
+	// The body field is ignored: identity comes from the header only.
+	smuggled := `{"shape":"pipeline","stages":5,"width":2,"tenant":"alpha","priority":9}`
+	resp, body = doJSONTenant(t, http.MethodPost, ts.URL+"/v1/runs", "", smuggled)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit with body tenant: status %d body %v", resp.StatusCode, body)
+	}
+	if got := specTenant(t, body); got != "default" {
+		t.Errorf("body-smuggled tenant won attribution: %q", got)
+	}
+}
+
+// TestInvalidTenantHeader: syntactically invalid X-Tenant values are a 400
+// invalid_request, not silently rebadged as "default".
+func TestInvalidTenantHeader(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{QueueDepth: 4, Dispatchers: 1})
+	spec := `{"shape":"pipeline","stages":5,"width":2}`
+	for name, header := range map[string]string{
+		"overlong": strings.Repeat("x", 200),
+		"tab":      "bad\tname",
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, body := doJSONTenant(t, http.MethodPost, ts.URL+"/v1/runs", header, spec)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			if code := errCode(t, body); code != string(api.CodeInvalidRequest) {
+				t.Errorf("code = %q, want invalid_request", code)
+			}
+		})
+	}
+}
+
+// TestTenantRateLimit429RetryAfter: past the tenant's token bucket the API
+// answers 429 rate_limited with a Retry-After header and retry details —
+// and other tenants keep submitting.
+func TestTenantRateLimit429RetryAfter(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{
+		QueueDepth:  8,
+		Dispatchers: 1,
+		Tenants:     []core.TenantConfig{{Name: "limited", SubmitRate: 0.01, SubmitBurst: 1}},
+	})
+	spec := `{"shape":"pipeline","stages":5,"width":2}`
+
+	resp, body := doJSONTenant(t, http.MethodPost, ts.URL+"/v1/runs", "limited", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit within burst: status %d body %v", resp.StatusCode, body)
+	}
+	resp, body = doJSONTenant(t, http.MethodPost, ts.URL+"/v1/runs", "limited", spec)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate submit: status %d, want 429", resp.StatusCode)
+	}
+	if code := errCode(t, body); code != string(api.CodeRateLimited) {
+		t.Errorf("code = %q, want rate_limited", code)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After header = %q, want a positive delay-seconds value", ra)
+	}
+	details, _ := body["error"].(map[string]any)["details"].(map[string]any)
+	if details["tenant"] != "limited" {
+		t.Errorf("details.tenant = %v, want limited", details["tenant"])
+	}
+	if ms, _ := details["retry_after_ms"].(float64); ms <= 0 {
+		t.Errorf("details.retry_after_ms = %v, want positive", details["retry_after_ms"])
+	}
+
+	// Another tenant is unaffected by the limited one's bucket.
+	resp, _ = doJSONTenant(t, http.MethodPost, ts.URL+"/v1/runs", "", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("default-tenant submit during rate limiting: status %d", resp.StatusCode)
+	}
+}
+
+// TestTenantQuota429: a tenant at its queue-depth quota gets 429
+// quota_exceeded (with Retry-After) while other tenants still submit.
+func TestTenantQuota429(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{
+		QueueDepth:  64,
+		Dispatchers: 1,
+		Tenants:     []core.TenantConfig{{Name: "small", MaxQueueDepth: 1}},
+	})
+	// Occupy the single dispatcher so submissions stay queued.
+	plugID := submit(t, ts.URL, `{"shape":"pipeline","stages":40000,"width":4,"work":2000}`)
+	pollUntil(t, ts.URL, plugID, "running")
+	defer doJSON(t, http.MethodPost, ts.URL+"/v1/runs/"+plugID+"/cancel", "")
+
+	spec := `{"shape":"pipeline","stages":5,"width":2}`
+	resp, _ := doJSONTenant(t, http.MethodPost, ts.URL+"/v1/runs", "small", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit within quota: status %d", resp.StatusCode)
+	}
+	resp, body := doJSONTenant(t, http.MethodPost, ts.URL+"/v1/runs", "small", spec)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: status %d, want 429", resp.StatusCode)
+	}
+	if code := errCode(t, body); code != string(api.CodeQuotaExceeded) {
+		t.Errorf("code = %q, want quota_exceeded", code)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 quota_exceeded carries no Retry-After header")
+	}
+	resp, _ = doJSONTenant(t, http.MethodPost, ts.URL+"/v1/runs", "", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("default-tenant submit while another tenant is at quota: status %d", resp.StatusCode)
+	}
+}
+
+// TestListTenantFilter: ?tenant= narrows the listing to one tenant's runs
+// and composes with ?state=.
+func TestListTenantFilter(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{
+		QueueDepth:  16,
+		Dispatchers: 2,
+		Tenants:     []core.TenantConfig{{Name: "alpha"}, {Name: "beta"}},
+	})
+	spec := `{"shape":"pipeline","stages":5,"width":2}`
+	var alphaIDs []string
+	for i := 0; i < 3; i++ {
+		resp, body := doJSONTenant(t, http.MethodPost, ts.URL+"/v1/runs", "alpha", spec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatal("alpha submit failed")
+		}
+		alphaIDs = append(alphaIDs, body["id"].(string))
+	}
+	for i := 0; i < 2; i++ {
+		if resp, _ := doJSONTenant(t, http.MethodPost, ts.URL+"/v1/runs", "beta", spec); resp.StatusCode != http.StatusAccepted {
+			t.Fatal("beta submit failed")
+		}
+	}
+	for _, id := range alphaIDs {
+		pollUntil(t, ts.URL, id, "succeeded")
+	}
+
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/v1/runs?tenant=alpha", "")
+	if code != http.StatusOK {
+		t.Fatalf("list?tenant=alpha: status %d", code)
+	}
+	runs, _ := body["runs"].([]any)
+	if len(runs) != 3 {
+		t.Fatalf("tenant=alpha listed %d runs, want 3", len(runs))
+	}
+	for _, rr := range runs {
+		spec, _ := rr.(map[string]any)["spec"].(map[string]any)
+		if spec["tenant"] != "alpha" {
+			t.Errorf("tenant=alpha listing leaked a %v run", spec["tenant"])
+		}
+	}
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/runs?tenant=alpha&state=succeeded", "")
+	if code != http.StatusOK {
+		t.Fatalf("combined filter: status %d", code)
+	}
+	if n, _ := body["count"].(float64); int(n) != 3 {
+		t.Errorf("tenant+state filter count = %v, want 3", n)
+	}
+	// An unknown tenant filter is an empty page, not an error.
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/runs?tenant=nobody", "")
+	if code != http.StatusOK {
+		t.Fatalf("list?tenant=nobody: status %d", code)
+	}
+	if n, _ := body["count"].(float64); n != 0 {
+		t.Errorf("unknown tenant filter count = %v, want 0", n)
+	}
+}
+
+// TestHealthzTenantStats: /healthz exposes per-tenant queue stats.
+func TestHealthzTenantStats(t *testing.T) {
+	ts := newTestServer(t, core.ServiceOptions{
+		QueueDepth:  4,
+		Dispatchers: 1,
+		Tenants:     []core.TenantConfig{{Name: "alpha", Weight: 3}},
+	})
+	code, body := doJSON(t, http.MethodGet, ts.URL+"/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	stats, _ := body["stats"].(map[string]any)
+	tenants, _ := stats["tenants"].(map[string]any)
+	if tenants == nil {
+		t.Fatalf("healthz stats carry no tenants map: %v", stats)
+	}
+	alpha, _ := tenants["alpha"].(map[string]any)
+	if alpha == nil || alpha["weight"].(float64) != 3 {
+		t.Errorf("tenants.alpha = %v, want weight 3", tenants["alpha"])
+	}
+	if _, ok := tenants["default"]; !ok {
+		t.Error("tenants map missing the catch-all default")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/store/wal"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/tenant"
 )
 
 func pipelineSpec() run.Spec {
@@ -437,5 +438,76 @@ func TestFsyncRoundTrip(t *testing.T) {
 	defer s2.Close()
 	if got, err := s2.Get(r.ID); err != nil || got.State != run.StateSucceeded {
 		t.Errorf("fsync'd run lost: %+v, %v", got, err)
+	}
+}
+
+// TestRecoveryPreservesTenant: tenant attribution rides the WAL record
+// through a crash — re-admitted runs come back carrying the same tenant
+// (the dispatcher then routes each into its owning tenant's queue).
+func TestRecoveryPreservesTenant(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, wal.Options{})
+
+	specFor := func(name string) run.Spec {
+		sp := pipelineSpec()
+		sp.Tenant = name
+		sp.Priority = 1
+		return sp
+	}
+	queued := mustCreate(t, s, specFor("alpha"))
+	running := mustCreate(t, s, specFor("beta"))
+	if _, err := s.Begin(running.ID, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	terminal := mustCreate(t, s, specFor("alpha"))
+	drive(t, s, terminal.ID, nil)
+	s.Close()
+
+	s2, recovered := mustOpen(t, dir, wal.Options{})
+	defer s2.Close()
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d runs, want 2", len(recovered))
+	}
+	want := map[string]string{queued.ID: "alpha", running.ID: "beta"}
+	for _, r := range recovered {
+		if r.Spec.Tenant != want[r.ID] {
+			t.Errorf("recovered run %s tenant = %q, want %q", r.ID, r.Spec.Tenant, want[r.ID])
+		}
+		if r.Spec.Priority != 1 {
+			t.Errorf("recovered run %s priority = %d, want 1", r.ID, r.Spec.Priority)
+		}
+	}
+	got, err := s2.Get(terminal.ID)
+	if err != nil || got.Spec.Tenant != "alpha" {
+		t.Errorf("terminal run tenant after replay = %q, %v; want alpha", got.Spec.Tenant, err)
+	}
+}
+
+// TestRecoveryStampsLegacyTenant: records written before tenancy existed
+// (no tenant field) replay as the catch-all default tenant — terminal
+// history and re-admitted runs alike — so ?tenant= filters and queue
+// routing always have a real attribution.
+func TestRecoveryStampsLegacyTenant(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, wal.Options{})
+
+	// pipelineSpec carries no tenant: byte-for-byte what a pre-tenancy
+	// dagd logged.
+	terminal := mustCreate(t, s, pipelineSpec())
+	drive(t, s, terminal.ID, nil)
+	interrupted := mustCreate(t, s, pipelineSpec())
+	s.Close()
+
+	s2, recovered := mustOpen(t, dir, wal.Options{})
+	defer s2.Close()
+	if len(recovered) != 1 || recovered[0].ID != interrupted.ID {
+		t.Fatalf("recovered = %+v, want just the interrupted run", recovered)
+	}
+	if got := recovered[0].Spec.Tenant; got != tenant.Default {
+		t.Errorf("legacy interrupted run replayed with tenant %q, want %q", got, tenant.Default)
+	}
+	got, err := s2.Get(terminal.ID)
+	if err != nil || got.Spec.Tenant != tenant.Default {
+		t.Errorf("legacy terminal run replayed with tenant %q, %v; want %q", got.Spec.Tenant, err, tenant.Default)
 	}
 }

@@ -63,6 +63,7 @@ import (
 	"time"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/tenant"
 )
 
 // Record ops. All but opDel carry a full run snapshot.
@@ -168,6 +169,12 @@ func Open(dir string, opts Options) (*Store, []run.Run, error) {
 	// their synthesized snapshots are logged below as opPut.
 	var recovered, repaired []run.Run
 	for _, r := range replayed.runs {
+		// Records written before tenancy existed carry no attribution;
+		// replay them as the catch-all default tenant so history filters
+		// and re-admission both have a real tenant to point at.
+		if r.Spec.Tenant == "" {
+			r.Spec.Tenant = tenant.Default
+		}
 		if r.State.Terminal() {
 			s.mem.Restore(r)
 			continue

@@ -42,7 +42,13 @@ func Run(t *testing.T, newStore Factory) {
 }
 
 func spec() run.Spec {
-	return run.Spec{Config: gen.Config{Shape: gen.Pipeline, Stages: 5, Width: 2}}
+	// Tenant-bearing, so every backend proves attribution survives each
+	// transition (and, for the WAL store, a replay) unchanged.
+	return run.Spec{
+		Config:   gen.Config{Shape: gen.Pipeline, Stages: 5, Width: 2},
+		Tenant:   "conformance-tenant",
+		Priority: 2,
+	}
 }
 
 func create(t *testing.T, s run.Store) run.Run {
@@ -131,6 +137,11 @@ func testLifecycle(t *testing.T, newStore Factory) {
 			// not have been mutated by later transitions.
 			if r.State != run.StateQueued {
 				t.Error("earlier snapshot mutated by later transition")
+			}
+			// Tenant attribution rides the spec through every transition.
+			if f.Spec.Tenant != "conformance-tenant" || f.Spec.Priority != 2 {
+				t.Errorf("terminal spec attribution = %q/%d, want conformance-tenant/2",
+					f.Spec.Tenant, f.Spec.Priority)
 			}
 		})
 	}

@@ -20,6 +20,7 @@ package api
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Code is a machine-readable error category, stable across releases.
@@ -56,6 +57,12 @@ const (
 	// CodeQueueFull: the dispatch queue is at capacity; back off and
 	// retry. HTTP 429.
 	CodeQueueFull Code = "queue_full"
+	// CodeRateLimited: the tenant's submission rate limit is exhausted;
+	// retry after the Retry-After header's delay. HTTP 429.
+	CodeRateLimited Code = "rate_limited"
+	// CodeQuotaExceeded: the tenant's queue-depth quota is full; wait for
+	// queued runs to drain (or cancel some) before resubmitting. HTTP 429.
+	CodeQuotaExceeded Code = "quota_exceeded"
 	// CodeShuttingDown: the service is draining and no longer accepts
 	// work. HTTP 503.
 	CodeShuttingDown Code = "shutting_down"
@@ -76,6 +83,8 @@ var (
 	ErrMethodNotAllowed     = errors.New("api: method not allowed")
 	ErrRunTerminal          = errors.New("api: run already terminal")
 	ErrQueueFull            = errors.New("api: queue full")
+	ErrRateLimited          = errors.New("api: rate limited")
+	ErrQuotaExceeded        = errors.New("api: tenant quota exceeded")
 	ErrShuttingDown         = errors.New("api: shutting down")
 	ErrInternal             = errors.New("api: internal server error")
 )
@@ -90,6 +99,8 @@ var sentinels = map[Code]error{
 	CodeMethodNotAllowed:     ErrMethodNotAllowed,
 	CodeRunTerminal:          ErrRunTerminal,
 	CodeQueueFull:            ErrQueueFull,
+	CodeRateLimited:          ErrRateLimited,
+	CodeQuotaExceeded:        ErrQuotaExceeded,
 	CodeShuttingDown:         ErrShuttingDown,
 	CodeInternal:             ErrInternal,
 }
@@ -110,6 +121,10 @@ type Error struct {
 	// HTTPStatus is the response status the envelope arrived with. It is
 	// filled by the client, never serialized.
 	HTTPStatus int `json:"-"`
+	// RetryAfter is the parsed Retry-After response header (zero when the
+	// server sent none) — how long to back off before retrying a 429/503.
+	// Filled by the client, never serialized.
+	RetryAfter time.Duration `json:"-"`
 }
 
 // Error implements the error interface.

@@ -63,6 +63,11 @@ type RunSpec struct {
 	Workload string  `json:"workload,omitempty"` // registered workload name; "" = server default
 	Work     int     `json:"work,omitempty"`     // busy-work iterations per node
 	Workers  int     `json:"workers,omitempty"`  // per-run scheduler pool size; 0 = server default
+	// Tenant and Priority are server-stamped attribution: who the run was
+	// admitted for (from the X-Tenant header, never this field) and the
+	// tenant's priority class at admission. Both are ignored on submission.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 }
 
 // Result is the measured outcome of a finished run.

@@ -37,6 +37,7 @@ type Client struct {
 	base      string
 	hc        *http.Client
 	waitSlice time.Duration
+	tenant    string
 }
 
 // Option customizes a Client.
@@ -47,6 +48,14 @@ type Option func(*Client)
 // must exceed the wait slice or long-polls will be cut short.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithTenant sets the X-Tenant header on every request, identifying which
+// tenant's quotas, rate limits, and fair-share weight the client's
+// submissions are accounted against. An empty name (the default) means the
+// server's catch-all "default" tenant.
+func WithTenant(name string) Option {
+	return func(c *Client) { c.tenant = name }
 }
 
 // WithWaitSlice sets the per-round long-poll duration Wait passes as
@@ -97,6 +106,9 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.tenant != "" {
+		req.Header.Set("X-Tenant", c.tenant)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
@@ -120,6 +132,12 @@ func decodeError(resp *http.Response) error {
 	var env api.ErrorEnvelope
 	if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil && env.Error.Code != "" {
 		env.Error.HTTPStatus = resp.StatusCode
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			// dagd always sends delay-seconds (never an HTTP-date).
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				env.Error.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
 		return env.Error
 	}
 	return fmt.Errorf("client: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
@@ -204,6 +222,7 @@ func (c *Client) Wait(ctx context.Context, id string) (*api.Run, error) {
 // ListOptions selects and pages GET /v1/runs.
 type ListOptions struct {
 	State  string // filter by lifecycle state name; "" = all
+	Tenant string // filter by owning tenant name; "" = all
 	Limit  int    // page size; 0 = everything in one response
 	Cursor string // resume token from a previous page's NextCursor
 }
@@ -214,6 +233,9 @@ func (c *Client) List(ctx context.Context, opts ListOptions) (*api.RunList, erro
 	q := url.Values{}
 	if opts.State != "" {
 		q.Set("state", opts.State)
+	}
+	if opts.Tenant != "" {
+		q.Set("tenant", opts.Tenant)
 	}
 	if opts.Limit > 0 {
 		q.Set("limit", strconv.Itoa(opts.Limit))

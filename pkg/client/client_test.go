@@ -358,3 +358,99 @@ func jsonFieldSet(t *testing.T, v any) []string {
 	sort.Strings(names)
 	return names
 }
+
+// newServerURL stands up a real service + server and returns its base URL,
+// for tests that need several differently-configured clients against one
+// dagd.
+func newServerURL(t *testing.T, opts core.ServiceOptions) string {
+	t.Helper()
+	svc, err := core.NewService(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(svc).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+	})
+	return ts.URL
+}
+
+// TestWithTenant: the client's tenant option rides every request as the
+// X-Tenant header, attribution comes back on the run, and ListOptions.
+// Tenant filters server-side.
+func TestWithTenant(t *testing.T) {
+	url := newServerURL(t, core.ServiceOptions{
+		QueueDepth:  8,
+		Dispatchers: 2,
+		Tenants:     []core.TenantConfig{{Name: "alpha", Priority: 1}},
+	})
+	ctx := context.Background()
+	alpha := New(url, WithTenant("alpha"), WithWaitSlice(100*time.Millisecond))
+	anon := New(url, WithWaitSlice(100*time.Millisecond))
+
+	r, err := alpha.SubmitExplicit(ctx, 4, diamond, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spec.Tenant != "alpha" || r.Spec.Priority != 1 {
+		t.Errorf("alpha-client run attribution = %q/%d, want alpha/1", r.Spec.Tenant, r.Spec.Priority)
+	}
+	a, err := anon.SubmitExplicit(ctx, 4, diamond, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Spec.Tenant != "default" {
+		t.Errorf("anonymous run attribution = %q, want default", a.Spec.Tenant)
+	}
+	if _, err := alpha.Wait(ctx, r.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := anon.Wait(ctx, a.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	page, err := anon.List(ctx, ListOptions{Tenant: "alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Count != 1 || page.Runs[0].ID != r.ID {
+		t.Errorf("List(tenant=alpha) = %d runs, want exactly the alpha run", page.Count)
+	}
+}
+
+// TestRetryAfterDecoding: a 429 from the tenant rate limiter decodes into
+// an *api.Error matching api.ErrRateLimited, with the Retry-After header
+// parsed into the error.
+func TestRetryAfterDecoding(t *testing.T) {
+	url := newServerURL(t, core.ServiceOptions{
+		QueueDepth:  8,
+		Dispatchers: 1,
+		Tenants:     []core.TenantConfig{{Name: "limited", SubmitRate: 0.01, SubmitBurst: 1}},
+	})
+	ctx := context.Background()
+	c := New(url, WithTenant("limited"))
+
+	if _, err := c.SubmitExplicit(ctx, 4, diamond, SubmitOptions{}); err != nil {
+		t.Fatalf("first submit within burst: %v", err)
+	}
+	_, err := c.SubmitExplicit(ctx, 4, diamond, SubmitOptions{})
+	if !errors.Is(err, api.ErrRateLimited) {
+		t.Fatalf("over-rate submit = %v, want api.ErrRateLimited", err)
+	}
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v is not an *api.Error", err)
+	}
+	if apiErr.HTTPStatus != 429 {
+		t.Errorf("HTTPStatus = %d, want 429", apiErr.HTTPStatus)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want the parsed Retry-After header (> 0)", apiErr.RetryAfter)
+	}
+	if apiErr.Details["tenant"] != "limited" {
+		t.Errorf("details.tenant = %v, want limited", apiErr.Details["tenant"])
+	}
+}
