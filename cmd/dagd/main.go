@@ -66,6 +66,7 @@ func main() {
 		compactEvery = flag.Int("compact-threshold", 0, "WAL records between compactions into a snapshot file (0 = 4096, negative = never; needs -data-dir)")
 		tenantsFile  = flag.String("tenants", "", "JSON tenant config file (weights, priorities, quotas, rate limits); empty = single default tenant")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight runs on shutdown")
+		debugAddr    = flag.String("debug-addr", "", "optional second listener serving net/http/pprof, expvar, and /metrics; keep it private — it exposes profiles and runtime internals")
 	)
 	flag.Parse()
 
@@ -109,6 +110,9 @@ func main() {
 			*dataDir, svc.Stats().Runs, svc.Recovered())
 	}
 	srv := server.New(svc)
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, srv)
+	}
 	err = srv.ListenAndServe(ctx, *addr, *drainTimeout)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "dagd:", err)

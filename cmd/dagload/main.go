@@ -1,0 +1,354 @@
+// Command dagload is an open-loop load generator for a running dagd: it
+// submits runs through the typed client (pkg/client) at a fixed target
+// rate — never slowing down because the server is slow, which is what
+// makes the measured latencies honest under overload — with a seeded mix
+// of workloads, DAG shapes, and tenants, waits each run to a terminal
+// state, and emits a machine-readable JSON report:
+//
+//   - submit-to-terminal latency p50/p95/p99/max/mean as observed by the
+//     client (includes queueing, execution, and long-poll delivery),
+//   - the server-side queue-vs-execute breakdown computed from the run
+//     lifecycle timestamps (created_at → dispatched_at is queue wait,
+//     started_at → finished_at is execution),
+//   - offered vs achieved RPS, and error/429 tallies by cause.
+//
+// The committed BENCH_service.json at the repo root is a dagload report;
+// see README "Observability" for how to refresh it. CI runs a short
+// fixed-seed sweep against a loose p99 ceiling (-p99-ceiling) so gross
+// service-latency regressions fail the build.
+//
+// Usage:
+//
+//	dagload -base http://127.0.0.1:8080 -rps 25 -duration 10s
+//	dagload -rps 50 -duration 30s -tenants bench-a,bench-b -out BENCH_service.json
+//	dagload -rps 10 -duration 3s -seed 42 -p99-ceiling 5s   # the CI gate
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/pkg/api"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/pkg/client"
+)
+
+// LatencySummary aggregates one latency distribution, in milliseconds.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+	Mean  float64 `json:"mean_ms"`
+}
+
+// Report is the JSON document dagload emits (and BENCH_service.json holds).
+type Report struct {
+	GeneratedAt string `json:"generated_at"`
+	Config      struct {
+		Base      string   `json:"base"`
+		RPS       float64  `json:"rps"`
+		Duration  string   `json:"duration"`
+		Seed      int64    `json:"seed"`
+		Workloads []string `json:"workloads"`
+		Shapes    []string `json:"shapes"`
+		Tenants   []string `json:"tenants,omitempty"`
+		Work      int      `json:"work"`
+		Nodes     int      `json:"nodes"`
+		EdgeProb  float64  `json:"p"`
+		Stages    int      `json:"stages"`
+		Width     int      `json:"width"`
+	} `json:"config"`
+
+	Offered     int     `json:"offered"`      // submissions attempted
+	OfferedRPS  float64 `json:"offered_rps"`  // attempted / load window
+	Completed   int     `json:"completed"`    // runs that reached succeeded
+	AchievedRPS float64 `json:"achieved_rps"` // succeeded / total wall time
+	Failed      int     `json:"failed"`       // runs that reached failed/cancelled
+	Rejected429 int     `json:"rejected_429"` // rate_limited + quota_exceeded + queue_full
+	SubmitErrs  int     `json:"submit_errors"`
+	WaitErrs    int     `json:"wait_errors"` // submitted but never observed terminal
+
+	// SubmitToTerminal is measured on the client clock: from just before
+	// POST /v1/runs to the long-poll response that showed a terminal state.
+	SubmitToTerminal LatencySummary `json:"submit_to_terminal"`
+	// QueueWait and Execute are the server-side breakdown from the run's
+	// lifecycle timestamps, over the same completed runs.
+	QueueWait LatencySummary `json:"queue_wait"`
+	Execute   LatencySummary `json:"execute"`
+}
+
+// outcome is one submission's result, collected from the worker goroutines.
+type outcome struct {
+	state      api.State
+	latency    time.Duration // submit → terminal observed, client clock
+	queueWait  time.Duration // created_at → dispatched_at, server clock
+	execute    time.Duration // started_at → finished_at, server clock
+	rejected   bool          // 429 / queue_full at admission
+	submitErr  bool          // any other submit failure
+	waitErr    bool          // submitted, but terminal state never observed
+	hasServerT bool          // queueWait/execute are valid
+}
+
+func main() {
+	var (
+		base       = flag.String("base", "http://127.0.0.1:8080", "dagd base URL")
+		rps        = flag.Float64("rps", 25, "target (offered) submissions per second — open loop, not adaptive")
+		duration   = flag.Duration("duration", 10*time.Second, "load window; in-flight runs are still drained afterwards")
+		seed       = flag.Int64("seed", 1, "seed for the workload/shape/tenant mix (fixes the submission sequence)")
+		workloads  = flag.String("workloads", "pathcount,hashchain,longestpath", "comma-separated workload mix")
+		shapes     = flag.String("shapes", "pipeline,random", "comma-separated shape mix (pipeline, random)")
+		tenantsCSV = flag.String("tenants", "", "comma-separated tenants to round through via X-Tenant; empty = default tenant only")
+		work       = flag.Int("work", 50, "busy-work iterations per node")
+		nodes      = flag.Int("nodes", 200, "node count for random-shape runs")
+		edgeProb   = flag.Float64("p", 0.02, "forward-edge probability for random-shape runs")
+		stages     = flag.Int("stages", 50, "pipeline depth for pipeline-shape runs")
+		width      = flag.Int("width", 4, "pipeline width for pipeline-shape runs")
+		waitBudget = flag.Duration("wait", 60*time.Second, "per-run budget to observe a terminal state after the load window closes")
+		out        = flag.String("out", "", "write the JSON report here instead of stdout")
+		p99Ceiling = flag.Duration("p99-ceiling", 0, "exit non-zero if p99 submit-to-terminal latency exceeds this (0 = no gate)")
+	)
+	flag.Parse()
+
+	if *rps <= 0 || *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "dagload: -rps and -duration must be positive")
+		os.Exit(2)
+	}
+	wls := splitCSV(*workloads)
+	shs := splitCSV(*shapes)
+	tns := splitCSV(*tenantsCSV)
+	if len(wls) == 0 || len(shs) == 0 {
+		fmt.Fprintln(os.Stderr, "dagload: need at least one workload and one shape")
+		os.Exit(2)
+	}
+	for _, s := range shs {
+		if s != api.ShapePipeline && s != api.ShapeRandom {
+			fmt.Fprintf(os.Stderr, "dagload: unsupported shape %q (want pipeline or random)\n", s)
+			os.Exit(2)
+		}
+	}
+
+	// One client per tenant so the X-Tenant header is fixed per handle;
+	// index 0 is the bare default-tenant client when no tenants were named.
+	clients := []*client.Client{client.New(*base, client.WithWaitSlice(2*time.Second))}
+	if len(tns) > 0 {
+		clients = clients[:0]
+		for _, tn := range tns {
+			clients = append(clients, client.New(*base, client.WithTenant(tn), client.WithWaitSlice(2*time.Second)))
+		}
+	}
+
+	// The mix sequence is drawn up front from the seed, so run i always
+	// gets the same (workload, shape, client) regardless of timing.
+	total := int(*rps * duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	type pick struct {
+		spec api.RunSpec
+		c    *client.Client
+	}
+	picks := make([]pick, total)
+	for i := range picks {
+		spec := api.RunSpec{
+			Workload: wls[rng.Intn(len(wls))],
+			Work:     *work,
+		}
+		switch shs[rng.Intn(len(shs))] {
+		case api.ShapePipeline:
+			spec.Shape, spec.Stages, spec.Width = api.ShapePipeline, *stages, *width
+		case api.ShapeRandom:
+			spec.Shape, spec.Nodes, spec.EdgeProb = api.ShapeRandom, *nodes, *edgeProb
+			spec.Seed = rng.Int63n(1 << 30)
+		}
+		picks[i] = pick{spec: spec, c: clients[rng.Intn(len(clients))]}
+	}
+
+	fmt.Fprintf(os.Stderr, "dagload: offering %d runs at %.1f rps over %s against %s\n",
+		total, *rps, *duration, *base)
+
+	interval := time.Duration(float64(time.Second) / *rps)
+	outcomes := make([]outcome, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	for i := 0; i < total; i++ {
+		if i > 0 {
+			<-ticker.C
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcomes[i] = oneRun(picks[i].c, picks[i].spec, *waitBudget)
+		}(i)
+	}
+	ticker.Stop()
+	loadWindow := time.Since(start)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := buildReport(outcomes, loadWindow, wall)
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Config.Base = *base
+	rep.Config.RPS = *rps
+	rep.Config.Duration = duration.String()
+	rep.Config.Seed = *seed
+	rep.Config.Workloads = wls
+	rep.Config.Shapes = shs
+	rep.Config.Tenants = tns
+	rep.Config.Work = *work
+	rep.Config.Nodes = *nodes
+	rep.Config.EdgeProb = *edgeProb
+	rep.Config.Stages = *stages
+	rep.Config.Width = *width
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dagload:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dagload:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dagload: report written to %s\n", *out)
+	} else {
+		os.Stdout.Write(blob)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"dagload: offered %d (%.1f rps) completed %d (%.1f rps) failed %d 429s %d errs %d | submit→terminal p50 %.1fms p95 %.1fms p99 %.1fms max %.1fms\n",
+		rep.Offered, rep.OfferedRPS, rep.Completed, rep.AchievedRPS,
+		rep.Failed, rep.Rejected429, rep.SubmitErrs+rep.WaitErrs,
+		rep.SubmitToTerminal.P50, rep.SubmitToTerminal.P95, rep.SubmitToTerminal.P99, rep.SubmitToTerminal.Max)
+
+	switch {
+	case rep.Completed == 0:
+		fmt.Fprintln(os.Stderr, "dagload: FAIL: no run completed")
+		os.Exit(1)
+	case rep.Failed > 0:
+		fmt.Fprintf(os.Stderr, "dagload: FAIL: %d runs ended failed/cancelled\n", rep.Failed)
+		os.Exit(1)
+	case *p99Ceiling > 0 && rep.SubmitToTerminal.P99 > float64(p99Ceiling.Milliseconds()):
+		fmt.Fprintf(os.Stderr, "dagload: FAIL: p99 %.1fms exceeds ceiling %s\n",
+			rep.SubmitToTerminal.P99, *p99Ceiling)
+		os.Exit(1)
+	}
+}
+
+// oneRun drives a single submission to a terminal state and classifies the
+// result. The wait budget applies from submission, so runs stuck behind a
+// long queue still get their full drain window after the load stops.
+func oneRun(c *client.Client, spec api.RunSpec, waitBudget time.Duration) outcome {
+	ctx, cancel := context.WithTimeout(context.Background(), waitBudget)
+	defer cancel()
+
+	t0 := time.Now()
+	r, err := c.Submit(ctx, spec)
+	if err != nil {
+		if errors.Is(err, api.ErrRateLimited) || errors.Is(err, api.ErrQuotaExceeded) || errors.Is(err, api.ErrQueueFull) {
+			return outcome{rejected: true}
+		}
+		return outcome{submitErr: true}
+	}
+	r, err = c.Wait(ctx, r.ID)
+	if err != nil || r == nil || !r.State.Terminal() {
+		return outcome{waitErr: true}
+	}
+	o := outcome{state: r.State, latency: time.Since(t0)}
+	if r.DispatchedAt != nil && r.StartedAt != nil && r.FinishedAt != nil {
+		o.queueWait = r.DispatchedAt.Sub(r.CreatedAt)
+		o.execute = r.FinishedAt.Sub(*r.StartedAt)
+		o.hasServerT = true
+	}
+	return o
+}
+
+func buildReport(outcomes []outcome, loadWindow, wall time.Duration) *Report {
+	rep := &Report{Offered: len(outcomes)}
+	var latencies, queueWaits, executes []float64
+	for _, o := range outcomes {
+		switch {
+		case o.rejected:
+			rep.Rejected429++
+		case o.submitErr:
+			rep.SubmitErrs++
+		case o.waitErr:
+			rep.WaitErrs++
+		case o.state == api.StateSucceeded:
+			rep.Completed++
+			latencies = append(latencies, o.latency.Seconds()*1e3)
+			if o.hasServerT {
+				queueWaits = append(queueWaits, o.queueWait.Seconds()*1e3)
+				executes = append(executes, o.execute.Seconds()*1e3)
+			}
+		default:
+			rep.Failed++
+		}
+	}
+	if loadWindow > 0 {
+		rep.OfferedRPS = round2(float64(rep.Offered) / loadWindow.Seconds())
+	}
+	if wall > 0 {
+		rep.AchievedRPS = round2(float64(rep.Completed) / wall.Seconds())
+	}
+	rep.SubmitToTerminal = summarize(latencies)
+	rep.QueueWait = summarize(queueWaits)
+	rep.Execute = summarize(executes)
+	return rep
+}
+
+// summarize computes the percentile summary of a millisecond sample set.
+func summarize(ms []float64) LatencySummary {
+	s := LatencySummary{Count: len(ms)}
+	if len(ms) == 0 {
+		return s
+	}
+	sort.Float64s(ms)
+	var sum float64
+	for _, v := range ms {
+		sum += v
+	}
+	s.P50 = round2(percentile(ms, 0.50))
+	s.P95 = round2(percentile(ms, 0.95))
+	s.P99 = round2(percentile(ms, 0.99))
+	s.Max = round2(ms[len(ms)-1])
+	s.Mean = round2(sum / float64(len(ms)))
+	return s
+}
+
+// percentile is the nearest-rank percentile of a sorted sample.
+func percentile(sorted []float64, q float64) float64 {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -3,7 +3,11 @@
 // explicit and a generated run per registered workload, long-poll each to
 // succeeded, check the serial self-check matched, verify admission
 // rejections decode to the right sentinel errors, and walk pagination.
-// It exits 0 only if every check passes.
+// The run is split into named phases, each individually timed; on failure
+// the exit message names the failing phase ("FAIL phase=<name>") so the CI
+// log points at the broken layer without spelunking, and a passing run
+// prints the per-phase and total wall times so smoke-latency creep is
+// visible in plain CI output.
 //
 // With -tenants it additionally exercises multi-tenant isolation against a
 // dagd started with the matching tenant config (ci/tenants-smoke.json):
@@ -12,10 +16,17 @@
 // successfully during the saturation, and a rate-limited tenant must get
 // 429 rate_limited with a positive Retry-After.
 //
+// With -metrics it scrapes GET /metrics after the load phases, strict-parses
+// the page with the internal/metrics exposition parser (every line must be
+// well-formed; histogram +Inf/_sum/_count invariants must hold), and asserts
+// the core series exist with sane values — runs completed, submits admitted,
+// HTTP requests observed, scheduler nodes executed.
+//
 // Usage:
 //
 //	dagsmoke -base http://127.0.0.1:18080 -timeout 2m
 //	dagsmoke -base http://127.0.0.1:18080 -tenants   # needs dagd -tenants ci/tenants-smoke.json
+//	dagsmoke -base http://127.0.0.1:18080 -metrics   # strict /metrics verification
 package main
 
 import (
@@ -35,43 +46,82 @@ import (
 // Three source→sink paths, depth 2.
 var diamond = []api.Edge{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {0, 3}}
 
+// phase is one named, timed stage of the smoke run.
+type phase struct {
+	name string
+	fn   func(context.Context) error
+}
+
 func main() {
 	var (
 		base    = flag.String("base", "http://127.0.0.1:8080", "dagd base URL")
 		timeout = flag.Duration("timeout", 2*time.Minute, "overall smoke-test budget")
 		tenants = flag.Bool("tenants", false, "also check tenant isolation (dagd must run with the smoke tenant config)")
+		metrics = flag.Bool("metrics", false, "also scrape /metrics, strict-parse it, and assert the core series")
 	)
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	if err := smoke(ctx, client.New(*base, client.WithWaitSlice(2*time.Second))); err != nil {
-		fmt.Fprintln(os.Stderr, "dagsmoke: FAIL:", err)
-		os.Exit(1)
+
+	sm := &smoke{c: client.New(*base, client.WithWaitSlice(2*time.Second))}
+	phases := []phase{
+		{"workloads", sm.phaseWorkloads},
+		{"runs", sm.phaseRuns},
+		{"rejections", sm.phaseRejections},
+		{"pagination", sm.phasePagination},
 	}
 	if *tenants {
-		if err := tenantSmoke(ctx, *base); err != nil {
-			fmt.Fprintln(os.Stderr, "dagsmoke: FAIL:", err)
+		phases = append(phases, phase{"tenants", func(ctx context.Context) error {
+			return tenantSmoke(ctx, *base)
+		}})
+	}
+	if *metrics {
+		phases = append(phases, phase{"metrics", func(ctx context.Context) error {
+			return metricsSmoke(ctx, *base)
+		}})
+	}
+
+	start := time.Now()
+	for _, p := range phases {
+		t0 := time.Now()
+		if err := p.fn(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "dagsmoke: FAIL phase=%s after %s: %v\n",
+				p.name, time.Since(t0).Round(time.Millisecond), err)
 			os.Exit(1)
 		}
+		fmt.Printf("dagsmoke: phase %-10s ok in %s\n", p.name, time.Since(t0).Round(time.Millisecond))
 	}
-	fmt.Println("dagsmoke: all checks passed")
+	fmt.Printf("dagsmoke: all %d phases passed in %s\n", len(phases), time.Since(start).Round(time.Millisecond))
 }
 
-func smoke(ctx context.Context, c *client.Client) error {
-	wl, err := c.Workloads(ctx)
+// smoke carries state across the API phases: the workload list discovered
+// first feeds the run phase, and the submission count bounds the
+// pagination walk.
+type smoke struct {
+	c         *client.Client
+	workloads []string
+	submitted int
+}
+
+func (sm *smoke) phaseWorkloads(ctx context.Context) error {
+	wl, err := sm.c.Workloads(ctx)
 	if err != nil {
 		return fmt.Errorf("listing workloads: %w", err)
 	}
 	if len(wl.Workloads) < 3 {
 		return fmt.Errorf("expected at least the 3 built-in workloads, got %v", wl.Workloads)
 	}
+	sm.workloads = wl.Workloads
 	fmt.Printf("dagsmoke: workloads %v (default %s)\n", wl.Workloads, wl.Default)
+	return nil
+}
 
-	// One explicit and one generated run per registered workload; every
-	// serial-vs-parallel self-check must match.
-	var submitted int
-	for _, name := range wl.Workloads {
+// phaseRuns submits one explicit and one generated run per registered
+// workload; every serial-vs-parallel self-check must match.
+func (sm *smoke) phaseRuns(ctx context.Context) error {
+	c := sm.c
+	for _, name := range sm.workloads {
 		for _, submit := range []func() (*api.Run, error){
 			func() (*api.Run, error) {
 				return c.SubmitExplicit(ctx, 4, diamond, client.SubmitOptions{Workload: name, Work: 10})
@@ -86,7 +136,7 @@ func smoke(ctx context.Context, c *client.Client) error {
 			if err != nil {
 				return fmt.Errorf("workload %s: submit: %w", name, err)
 			}
-			submitted++
+			sm.submitted++
 			id := r.ID
 			r, err = c.Wait(ctx, id)
 			if err != nil {
@@ -102,8 +152,12 @@ func smoke(ctx context.Context, c *client.Client) error {
 				name, r.Spec.Shape, r.ID, r.Result.Nodes, r.Result.Edges, r.Result.Match)
 		}
 	}
+	return nil
+}
 
-	// Admission rejections must decode to sentinel errors.
+// phaseRejections: admission rejections must decode to sentinel errors.
+func (sm *smoke) phaseRejections(ctx context.Context) error {
+	c := sm.c
 	if _, err := c.SubmitExplicit(ctx, 3, []api.Edge{{0, 1}, {1, 2}, {2, 0}}, client.SubmitOptions{}); !errors.Is(err, api.ErrInvalidSpec) {
 		return fmt.Errorf("cyclic explicit spec: got %v, want api.ErrInvalidSpec", err)
 	}
@@ -114,8 +168,13 @@ func smoke(ctx context.Context, c *client.Client) error {
 		return fmt.Errorf("missing run: got %v, want api.ErrNotFound", err)
 	}
 	fmt.Println("dagsmoke: admission rejections map to sentinels")
+	return nil
+}
 
-	// Pagination must walk every submitted run exactly once.
+// phasePagination: the cursor walk must visit every submitted run exactly
+// once.
+func (sm *smoke) phasePagination(ctx context.Context) error {
+	c := sm.c
 	seen := map[string]bool{}
 	for cursor := ""; ; {
 		page, err := c.List(ctx, client.ListOptions{Limit: 3, Cursor: cursor})
@@ -133,8 +192,8 @@ func smoke(ctx context.Context, c *client.Client) error {
 		}
 		cursor = page.NextCursor
 	}
-	if len(seen) < submitted {
-		return fmt.Errorf("pagination walked %d runs, submitted %d", len(seen), submitted)
+	if len(seen) < sm.submitted {
+		return fmt.Errorf("pagination walked %d runs, submitted %d", len(seen), sm.submitted)
 	}
 	fmt.Printf("dagsmoke: pagination walked %d runs\n", len(seen))
 	return nil

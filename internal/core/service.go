@@ -4,7 +4,9 @@ import (
 	"context"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dispatch"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/metrics"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/sched"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/store/wal"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/tenant"
 )
@@ -114,6 +116,10 @@ type ServiceOptions struct {
 	// shares one queue bounded by QueueDepth, as before. Invalid configs
 	// fail NewService with ErrInvalidTenants.
 	Tenants []TenantConfig
+	// Metrics is the registry every layer (dispatch, scheduler, WAL, run
+	// states) instruments into. Nil means NewService creates its own, so
+	// Service.Metrics — and GET /metrics — always has a live registry.
+	Metrics *metrics.Registry
 }
 
 // ServiceStats is a snapshot of service load for health reporting.
@@ -138,6 +144,7 @@ type ServiceStats struct {
 type Service struct {
 	store           run.Store
 	disp            *dispatch.Dispatcher
+	metrics         *metrics.Registry
 	defaultWorkload string
 	recovered       int
 }
@@ -155,12 +162,16 @@ func NewService(opts ServiceOptions) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
 	var store run.Store
 	var recovered []run.Run
 	if opts.DataDir != "" {
 		ws, rec, err := wal.Open(opts.DataDir, wal.Options{
 			Fsync:            opts.Fsync,
 			CompactThreshold: opts.CompactThreshold,
+			Metrics:          opts.Metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -176,17 +187,45 @@ func NewService(opts ServiceOptions) (*Service, error) {
 		DefaultWorkload:   opts.DefaultWorkload,
 		RetainRuns:        opts.RetainRuns,
 		Tenants:           registry,
+		Metrics:           opts.Metrics,
 	})
 	if len(recovered) > 0 {
 		disp.Recover(recovered)
 	}
-	return &Service{
+	svc := &Service{
 		store:           store,
 		disp:            disp,
+		metrics:         opts.Metrics,
 		defaultWorkload: opts.DefaultWorkload,
 		recovered:       len(recovered),
-	}, nil
+	}
+
+	// Service-level series: scheduler process-lifetime tallies as
+	// func-backed counters, a constant for how many interrupted runs this
+	// boot re-admitted, and the store's runs-by-state as a scrape-time
+	// gauge (all five states zero-filled so dashboards never see gaps).
+	opts.Metrics.CounterFunc("dagd_sched_nodes_executed_total",
+		"DAG nodes retired by the work-stealing scheduler across all runs.",
+		func() float64 { return float64(sched.NodesExecuted()) })
+	opts.Metrics.CounterFunc("dagd_sched_steals_total",
+		"Successful work-stealing operations across all runs.",
+		func() float64 { return float64(sched.Steals()) })
+	opts.Metrics.GaugeFunc("dagd_recovered_runs",
+		"Interrupted runs re-admitted from the WAL when this process booted.",
+		func() float64 { return float64(svc.recovered) })
+	byState := opts.Metrics.GaugeVec("dagd_runs", "Runs in the store, by lifecycle state.", "state")
+	opts.Metrics.OnCollect(func() {
+		counts := svc.store.CountByState()
+		for _, st := range []run.State{run.StateQueued, run.StateRunning, run.StateSucceeded, run.StateFailed, run.StateCancelled} {
+			byState.With(st.String()).Set(float64(counts[st]))
+		}
+	})
+	return svc, nil
 }
+
+// Metrics returns the service's metric registry — the families every layer
+// below registered into — for the HTTP layer to render at GET /metrics.
+func (s *Service) Metrics() *metrics.Registry { return s.metrics }
 
 // DefaultWorkloadName reports which workload the service stamps onto specs
 // that name none (surfaced by GET /v1/workloads).
@@ -219,7 +258,11 @@ func (s *Service) List() []RunInfo { return s.store.List() }
 // Cancel requests cancellation of a queued or running run.
 func (s *Service) Cancel(id string) (RunInfo, error) { return s.disp.Cancel(id) }
 
-// Stats snapshots current service load.
+// Stats snapshots current service load. The dispatcher fields (QueueLen and
+// the per-tenant table) come from one dispatch.Snapshot taken under a single
+// lock acquisition, so QueueLen always equals the sum of the per-tenant
+// Queued values — reading them separately lets the counters move in between
+// and hands /healthz an internally inconsistent answer.
 func (s *Service) Stats() ServiceStats {
 	byState := make(map[string]int)
 	total := 0
@@ -227,14 +270,15 @@ func (s *Service) Stats() ServiceStats {
 		byState[state.String()] = n
 		total += n
 	}
+	snap := s.disp.Snapshot()
 	return ServiceStats{
 		Runs:        total,
 		ByState:     byState,
-		QueueLen:    s.disp.QueueLen(),
+		QueueLen:    snap.QueueLen,
 		QueueDepth:  s.disp.QueueDepth(),
 		Dispatchers: s.disp.Dispatchers(),
 		Recovered:   s.recovered,
-		Tenants:     s.disp.TenantStats(),
+		Tenants:     snap.Tenants,
 	}
 }
 

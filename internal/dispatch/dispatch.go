@@ -31,9 +31,11 @@ import (
 	"log"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/metrics"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/tenant"
 )
@@ -97,6 +99,10 @@ type Options struct {
 	// catch-all default tenant, which reproduces the pre-tenant behavior
 	// (one queue, QueueDepth bound, no rate limit).
 	Tenants *tenant.Registry
+	// Metrics receives the dispatcher's instrumentation (queue depths,
+	// wait times, run outcomes). Nil disables it — every instrument in
+	// internal/metrics is a no-op on nil.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -119,13 +125,20 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// queued is one pending queue entry: the run's ID and when it entered the
+// queue, so pops can observe queue-wait and scrapes the oldest entry's age.
+type queued struct {
+	id string
+	at time.Time
+}
+
 // tenantQueue is one tenant's scheduling state. All fields are guarded by
 // the Dispatcher's mu.
 type tenantQueue struct {
 	cfg    tenant.Config
 	bucket *tenant.Bucket // nil when the tenant has no submit rate limit
 
-	queue    []string // pending run IDs, FIFO within the tenant
+	queue    []queued // pending runs, FIFO within the tenant
 	reserved int      // Submit slots held while store.Create runs outside mu
 	inflight int      // runs currently claimed by dispatchers
 	deficit  int      // deficit-round-robin credit within the priority class
@@ -168,7 +181,7 @@ type priorityClass struct {
 // to its weight. An empty queue forfeits its remaining credit (classic DRR:
 // idle tenants must not bank bursts); a tenant at its in-flight cap is
 // skipped with its credit intact and resumes when capacity frees up.
-func (cl *priorityClass) pick() (*tenantQueue, string, bool) {
+func (cl *priorityClass) pick() (*tenantQueue, queued, bool) {
 	n := len(cl.order)
 	for i := 0; i < n; i++ {
 		tq := cl.order[cl.cursor]
@@ -185,14 +198,14 @@ func (cl *priorityClass) pick() (*tenantQueue, string, bool) {
 			tq.deficit = tq.cfg.Weight
 		}
 		tq.deficit--
-		id := tq.queue[0]
+		entry := tq.queue[0]
 		tq.queue = tq.queue[1:]
 		if tq.deficit <= 0 || len(tq.queue) == 0 {
 			cl.cursor = (cl.cursor + 1) % n
 		}
-		return tq, id, true
+		return tq, entry, true
 	}
-	return nil, "", false
+	return nil, queued{}, false
 }
 
 // Dispatcher owns the per-tenant run queues and the goroutine pool
@@ -213,6 +226,51 @@ type Dispatcher struct {
 	queues  map[string]*tenantQueue
 	classes []*priorityClass // strictly descending by priority
 	closed  bool
+
+	met instruments
+}
+
+// instruments is the dispatcher's metric handles. Every field is nil-safe
+// (see internal/metrics), so an unconfigured registry costs nothing.
+type instruments struct {
+	submits     *metrics.CounterVec   // dagd_submits_total{tenant}
+	rejections  *metrics.CounterVec   // dagd_submit_rejections_total{tenant,reason}
+	queueDepth  *metrics.GaugeVec     // dagd_queue_depth{tenant,priority}
+	inflight    *metrics.GaugeVec     // dagd_inflight_runs{tenant,priority}
+	oldestAge   *metrics.GaugeVec     // dagd_queue_oldest_age_seconds{tenant,priority}
+	queueWait   *metrics.HistogramVec // dagd_queue_wait_seconds{tenant}
+	completed   *metrics.CounterVec   // dagd_runs_completed_total{tenant,state}
+	runDuration *metrics.HistogramVec // dagd_run_duration_seconds{workload,shape}
+	runNodes    *metrics.CounterVec   // dagd_run_nodes_total{workload}
+}
+
+// newInstruments registers the dispatcher's metric families. reg may be nil.
+func newInstruments(reg *metrics.Registry) instruments {
+	runBuckets := []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30}
+	return instruments{
+		submits: reg.CounterVec("dagd_submits_total",
+			"Runs admitted to a tenant queue (including crash-recovery re-admissions).", "tenant"),
+		rejections: reg.CounterVec("dagd_submit_rejections_total",
+			"Submissions refused, by cause: rate_limited, quota_exceeded, queue_full, shutting_down, invalid_spec.",
+			"tenant", "reason"),
+		queueDepth: reg.GaugeVec("dagd_queue_depth",
+			"Runs currently waiting in the tenant's queue.", "tenant", "priority"),
+		inflight: reg.GaugeVec("dagd_inflight_runs",
+			"Runs currently claimed by dispatcher goroutines.", "tenant", "priority"),
+		oldestAge: reg.GaugeVec("dagd_queue_oldest_age_seconds",
+			"Age of the oldest queued run at scrape time (0 when the queue is empty).",
+			"tenant", "priority"),
+		queueWait: reg.HistogramVec("dagd_queue_wait_seconds",
+			"Submit-to-dispatch latency: time a run waited in its tenant queue.",
+			runBuckets, "tenant"),
+		completed: reg.CounterVec("dagd_runs_completed_total",
+			"Runs that reached a terminal state, by tenant and final state.", "tenant", "state"),
+		runDuration: reg.HistogramVec("dagd_run_duration_seconds",
+			"Wall time of run.Execute (generate + serial reference + parallel + verify).",
+			runBuckets, "workload", "shape"),
+		runNodes: reg.CounterVec("dagd_run_nodes_total",
+			"DAG nodes executed by completed runs.", "workload"),
+	}
 }
 
 // New creates a Dispatcher recording into store (any run.Store — in-memory
@@ -250,6 +308,26 @@ func New(store run.Store, opts Options) *Dispatcher {
 	for _, cl := range d.classes {
 		sort.Slice(cl.order, func(i, j int) bool { return cl.order[i].cfg.Name < cl.order[j].cfg.Name })
 	}
+
+	d.met = newInstruments(opts.Metrics)
+	// Queue depth, in-flight, and oldest-age are derived state refreshed at
+	// scrape time: one lock acquisition per scrape instead of gauge
+	// bookkeeping on every queue mutation.
+	opts.Metrics.OnCollect(func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		now := time.Now()
+		for name, tq := range d.queues {
+			prio := strconv.Itoa(tq.cfg.Priority)
+			d.met.queueDepth.With(name, prio).Set(float64(len(tq.queue)))
+			d.met.inflight.With(name, prio).Set(float64(tq.inflight))
+			age := 0.0
+			if len(tq.queue) > 0 {
+				age = now.Sub(tq.queue[0].at).Seconds()
+			}
+			d.met.oldestAge.With(name, prio).Set(age)
+		}
+	})
 
 	for i := 0; i < opts.Dispatchers; i++ {
 		d.wg.Add(1)
@@ -318,6 +396,10 @@ type TenantStats struct {
 func (d *Dispatcher) TenantStats() map[string]TenantStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.tenantStatsLocked()
+}
+
+func (d *Dispatcher) tenantStatsLocked() map[string]TenantStats {
 	out := make(map[string]TenantStats, len(d.queues))
 	for name, tq := range d.queues {
 		out[name] = TenantStats{
@@ -332,6 +414,29 @@ func (d *Dispatcher) TenantStats() map[string]TenantStats {
 		}
 	}
 	return out
+}
+
+// Snapshot is one internally consistent view of the dispatcher's state: the
+// total queue length is exactly the sum of the per-tenant Queued values, and
+// Draining matches the same instant. TenantStats/QueueLen/Draining taken
+// separately can each be individually correct yet mutually inconsistent —
+// the /healthz handler serializes a Snapshot instead.
+type Snapshot struct {
+	QueueLen int
+	Draining bool
+	Tenants  map[string]TenantStats
+}
+
+// Snapshot captures queue lengths, drain state, and every tenant's counters
+// under a single lock acquisition.
+func (d *Dispatcher) Snapshot() Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Snapshot{
+		QueueLen: d.queuedLocked(),
+		Draining: d.closed,
+		Tenants:  d.tenantStatsLocked(),
+	}
 }
 
 // Submit resolves the spec's tenant, enforces the tenant's rate limit and
@@ -357,12 +462,14 @@ func (d *Dispatcher) Submit(spec run.Spec) (run.Run, error) {
 	spec.Tenant = cfg.Name
 	spec.Priority = cfg.Priority
 	if err := spec.Validate(); err != nil {
+		d.met.rejections.With(cfg.Name, "invalid_spec").Inc()
 		return run.Run{}, err
 	}
 
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
+		d.met.rejections.With(cfg.Name, "shutting_down").Inc()
 		return run.Run{}, ErrShuttingDown
 	}
 	tq := d.queueForLocked(cfg.Name)
@@ -370,16 +477,20 @@ func (d *Dispatcher) Submit(spec run.Spec) (run.Run, error) {
 		if ok, retry := tq.bucket.Take(); !ok {
 			tq.rateLimited++
 			d.mu.Unlock()
+			d.met.rejections.With(cfg.Name, "rate_limited").Inc()
 			return run.Run{}, &RetryableError{Err: ErrRateLimited, Tenant: cfg.Name, RetryAfter: retry}
 		}
 	}
 	if len(tq.queue)+tq.reserved >= tq.depth(d.opts.QueueDepth) {
 		tq.rejected++
 		sentinel := ErrQueueFull
+		reason := "queue_full"
 		if tq.cfg.MaxQueueDepth > 0 {
 			sentinel = ErrQuotaExceeded
+			reason = "quota_exceeded"
 		}
 		d.mu.Unlock()
+		d.met.rejections.With(cfg.Name, reason).Inc()
 		return run.Run{}, &RetryableError{Err: sentinel, Tenant: cfg.Name, RetryAfter: time.Second}
 	}
 	tq.reserved++
@@ -403,12 +514,14 @@ func (d *Dispatcher) Submit(spec run.Spec) (run.Run, error) {
 		if derr := d.store.Delete(r.ID); derr != nil {
 			log.Printf("dispatch: rolling back %s admitted during shutdown: %v", r.ID, derr)
 		}
+		d.met.rejections.With(cfg.Name, "shutting_down").Inc()
 		return run.Run{}, ErrShuttingDown
 	}
-	tq.queue = append(tq.queue, r.ID)
+	tq.queue = append(tq.queue, queued{id: r.ID, at: time.Now()})
 	tq.submitted++
 	d.cond.Signal()
 	d.mu.Unlock()
+	d.met.submits.With(cfg.Name).Inc()
 	return r, nil
 }
 
@@ -427,10 +540,12 @@ func (d *Dispatcher) Recover(runs []run.Run) int {
 	if d.closed {
 		return 0
 	}
+	now := time.Now()
 	for _, r := range runs {
 		tq := d.queueForLocked(r.Spec.Tenant)
-		tq.queue = append(tq.queue, r.ID)
+		tq.queue = append(tq.queue, queued{id: r.ID, at: now})
 		tq.submitted++
+		d.met.submits.With(tq.cfg.Name).Inc()
 	}
 	d.cond.Broadcast()
 	return len(runs)
@@ -446,8 +561,8 @@ func (d *Dispatcher) Cancel(id string) (run.Run, error) {
 		// Cancelled straight out of the queue: drop the pending entry.
 		d.mu.Lock()
 		tq := d.queueForLocked(r.Spec.Tenant)
-		for i, qid := range tq.queue {
-			if qid == id {
+		for i, entry := range tq.queue {
+			if entry.id == id {
 				tq.queue = append(tq.queue[:i], tq.queue[i+1:]...)
 				break
 			}
@@ -456,6 +571,9 @@ func (d *Dispatcher) Cancel(id string) (run.Run, error) {
 		// empty.
 		d.cond.Broadcast()
 		d.mu.Unlock()
+		// The run reached a terminal state without ever passing through a
+		// dispatcher, so the execute-side counter will not see it.
+		d.met.completed.With(r.Spec.Tenant, run.StateCancelled.String()).Inc()
 	}
 	return r, err
 }
@@ -490,22 +608,24 @@ func (d *Dispatcher) Shutdown(ctx context.Context) error {
 // next blocks until a run is scheduled to this dispatcher or the queues
 // are closed and drained; ok is false only on the latter. The returned
 // tenantQueue has had its in-flight count incremented — the caller owes a
-// release.
-func (d *Dispatcher) next() (id string, tq *tenantQueue, ok bool) {
+// release. dispatchedAt is the pop time, which Begin stamps on the run.
+func (d *Dispatcher) next() (id string, tq *tenantQueue, dispatchedAt time.Time, ok bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
 		for _, cl := range d.classes {
 			if q, picked, found := cl.pick(); found {
 				q.inflight++
-				return picked, q, true
+				now := time.Now()
+				d.met.queueWait.With(q.cfg.Name).Observe(now.Sub(picked.at).Seconds())
+				return picked.id, q, now, true
 			}
 		}
 		// Nothing eligible. During a drain, queued runs stuck behind an
 		// in-flight cap still count as pending work: a release will
 		// broadcast and re-run the pick.
 		if d.closed && d.queuedLocked() == 0 {
-			return "", nil, false
+			return "", nil, time.Time{}, false
 		}
 		d.cond.Wait()
 	}
@@ -528,20 +648,20 @@ func (d *Dispatcher) release(tq *tenantQueue, completed bool) {
 func (d *Dispatcher) loop() {
 	defer d.wg.Done()
 	for {
-		id, tq, ok := d.next()
+		id, tq, dispatchedAt, ok := d.next()
 		if !ok {
 			return
 		}
-		d.execute(id, tq)
+		d.execute(id, tq, dispatchedAt)
 	}
 }
 
 // execute runs one queued run end to end and records its outcome.
-func (d *Dispatcher) execute(id string, tq *tenantQueue) {
+func (d *Dispatcher) execute(id string, tq *tenantQueue, dispatchedAt time.Time) {
 	ctx, cancel := context.WithCancel(d.baseCtx)
 	defer cancel()
 
-	r, err := d.store.Begin(id, cancel)
+	r, err := d.store.Begin(id, dispatchedAt, cancel)
 	if err != nil {
 		if errors.Is(err, run.ErrNotQueued) || errors.Is(err, run.ErrNotFound) {
 			// Cancelled while queued and popped before Cancel could unlink
@@ -557,11 +677,20 @@ func (d *Dispatcher) execute(id string, tq *tenantQueue) {
 		log.Printf("dispatch: recording begin of %s: %v (executing anyway)", id, err)
 	}
 
+	start := time.Now()
 	res, err := run.Execute(ctx, r.Spec, d.opts.DefaultRunWorkers)
-	if _, ferr := d.store.Finish(id, res, err); ferr != nil && !errors.Is(ferr, run.ErrNotRunning) {
+	fr, ferr := d.store.Finish(id, res, err)
+	if ferr != nil && !errors.Is(ferr, run.ErrNotRunning) {
 		// A WAL append failure: the outcome is recorded in memory but may
 		// not survive a restart. Nothing the dispatcher can do beyond log.
 		log.Printf("dispatch: recording finish of %s: %v", id, ferr)
+	}
+	if ferr == nil {
+		d.met.completed.With(r.Spec.Tenant, fr.State.String()).Inc()
+		d.met.runDuration.With(r.Spec.Workload, r.Spec.Shape.String()).Observe(time.Since(start).Seconds())
+		if res != nil {
+			d.met.runNodes.With(r.Spec.Workload).Add(float64(res.Nodes))
+		}
 	}
 	d.release(tq, true)
 	d.store.EvictTerminal(d.opts.RetainRuns)

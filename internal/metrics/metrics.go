@@ -1,0 +1,536 @@
+// Package metrics is a dependency-free, concurrency-safe metrics registry
+// for the dagd service: counters, gauges, and fixed-bucket histograms,
+// optionally split by a static label set, rendered in the Prometheus text
+// exposition format v0.0.4 (the format every Prometheus-compatible scraper
+// speaks). A strict parser for the same format lives in promtext.go, so the
+// exposition surface is round-trip tested and CI can verify a live /metrics
+// page line by line.
+//
+// Design points:
+//
+//   - Hot-path operations (Inc/Add/Observe/Set) are lock-free atomics; the
+//     only mutex work is the series lookup in a Vec's With, and callers on
+//     genuinely hot paths can resolve their series once and hold the handle.
+//   - Every instrument is nil-safe: methods on a nil *Counter, *Gauge,
+//     *Histogram, or nil Vec are no-ops, so instrumented packages accept an
+//     optional registry without sprinkling nil checks at every call site.
+//   - Gauges whose value is derived state (queue depths, in-flight counts)
+//     are refreshed by OnCollect hooks that run at scrape time, so the
+//     instrumented code never has to keep a parallel gauge in sync.
+//   - CounterFunc/GaugeFunc read their value from a closure at scrape time,
+//     for monotonic process-lifetime totals kept as plain atomics elsewhere
+//     (e.g. the scheduler's steal counter).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Instrument kinds, as rendered in # TYPE lines.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// DefBuckets are the default histogram buckets, in seconds — the standard
+// Prometheus spread covering sub-millisecond to 10s latencies.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// IOBuckets suit disk-latency histograms (fsync, compaction): tens of
+// microseconds up to one second.
+var IOBuckets = []float64{.00005, .0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1}
+
+// value is a float64 updated atomically (bit-cast through uint64).
+type value struct{ bits atomic.Uint64 }
+
+func (v *value) add(f float64) {
+	for {
+		old := v.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + f)
+		if v.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (v *value) set(f float64) { v.bits.Store(math.Float64bits(f)) }
+func (v *value) load() float64 { return math.Float64frombits(v.bits.Load()) }
+
+// Counter is a monotonically increasing value. All methods are safe on nil.
+type Counter struct{ v value }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by f; negative deltas are ignored (counters
+// never go down).
+func (c *Counter) Add(f float64) {
+	if c == nil || f < 0 {
+		return
+	}
+	c.v.add(f)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.load()
+}
+
+// Gauge is a value that can go up and down. All methods are safe on nil.
+type Gauge struct{ v value }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(f float64) {
+	if g == nil {
+		return
+	}
+	g.v.set(f)
+}
+
+// Add shifts the gauge by f (negative to decrease).
+func (g *Gauge) Add(f float64) {
+	if g == nil {
+		return
+	}
+	g.v.add(f)
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.load()
+}
+
+// Histogram counts observations into fixed buckets. Buckets are stored
+// non-cumulatively and accumulated at render time, so Observe touches
+// exactly one bucket counter plus the sum and count. All methods are safe
+// on nil.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64
+	sum    value
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(f float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket lists are short (≤ ~15) and the scan is
+	// branch-predictable; a binary search wins nothing here.
+	i := 0
+	for i < len(h.upper) && f > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1) // index len(upper) is the +Inf bucket
+	h.sum.add(f)
+	h.count.Add(1)
+}
+
+// Count returns how many samples were observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// series is one (label values → instrument) entry of a family.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	labels  []string
+	buckets []float64 // histograms only
+
+	fn func() float64 // CounterFunc/GaugeFunc families; nil otherwise
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// seriesKey joins label values with a byte that cannot appear in them
+// unescaped ambiguity-free (0xff is invalid UTF-8, and even if present in
+// two values the full tuple comparison below disambiguates at collision).
+func seriesKey(labelValues []string) string {
+	return strings.Join(labelValues, "\xff")
+}
+
+func (f *family) get(labelValues []string) *series {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", f.name, len(f.labels), len(labelValues)))
+	}
+	key := seriesKey(labelValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), labelValues...)}
+		switch f.typ {
+		case typeCounter:
+			s.counter = &Counter{}
+		case typeGauge:
+			s.gauge = &Gauge{}
+		case typeHistogram:
+			s.hist = &Histogram{
+				upper:  f.buckets,
+				counts: make([]atomic.Uint64, len(f.buckets)+1),
+			}
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// CounterVec is a counter family split by labels.
+type CounterVec struct{ fam *family }
+
+// With returns the counter for the given label values (created on first
+// use). Safe on a nil receiver, returning a nil (no-op) Counter.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.fam.get(labelValues).counter
+}
+
+// GaugeVec is a gauge family split by labels.
+type GaugeVec struct{ fam *family }
+
+// With returns the gauge for the given label values. Safe on nil.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.fam.get(labelValues).gauge
+}
+
+// HistogramVec is a histogram family split by labels.
+type HistogramVec struct{ fam *family }
+
+// With returns the histogram for the given label values. Safe on nil.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.fam.get(labelValues).hist
+}
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; call NewRegistry. All methods are safe for concurrent use, and
+// every registration/collection method is safe on a nil *Registry (returning
+// nil instruments), so a package can accept an optional registry and
+// instrument unconditionally.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	hooks    []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register creates or fetches a family, panicking on an invalid name or a
+// redefinition with a different shape — both programmer errors that should
+// fail at startup, not silently split a metric.
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64, fn func() float64) *family {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelRe.MatchString(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %s", l, name))
+		}
+	}
+	if typ == typeHistogram {
+		if len(buckets) == 0 {
+			panic(fmt.Sprintf("metrics: histogram %s needs at least one bucket", name))
+		}
+		if !sort.Float64sAreSorted(buckets) {
+			panic(fmt.Sprintf("metrics: histogram %s buckets must be sorted ascending", name))
+		}
+		// A trailing +Inf is implicit; reject an explicit one so the bucket
+		// list length always equals the finite bound count.
+		if math.IsInf(buckets[len(buckets)-1], +1) {
+			buckets = buckets[:len(buckets)-1]
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s%v (was %s%v)", name, typ, labels, f.typ, f.labels))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("metrics: %s re-registered with labels %v (was %v)", name, labels, f.labels))
+			}
+		}
+		if fn != nil {
+			panic(fmt.Sprintf("metrics: func metric %s registered twice", name))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		typ:     typ,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		fn:      fn,
+		series:  make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or fetches) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, typeCounter, nil, nil, nil).get(nil).counter
+}
+
+// CounterVec registers (or fetches) a counter family split by labels.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{fam: r.register(name, help, typeCounter, labels, nil, nil)}
+}
+
+// Gauge registers (or fetches) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, typeGauge, nil, nil, nil).get(nil).gauge
+}
+
+// GaugeVec registers (or fetches) a gauge family split by labels.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.register(name, help, typeGauge, labels, nil, nil)}
+}
+
+// Histogram registers (or fetches) an unlabelled fixed-bucket histogram.
+// buckets are ascending upper bounds; a +Inf bucket is always appended.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, typeHistogram, nil, buckets, nil).get(nil).hist
+}
+
+// HistogramVec registers (or fetches) a histogram family split by labels.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{fam: r.register(name, help, typeHistogram, labels, buckets, nil)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at every
+// collection — for monotonic totals kept as plain atomics elsewhere. fn
+// must be safe for concurrent use and must never decrease.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, typeCounter, nil, nil, fn)
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at collection.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, typeGauge, nil, nil, fn)
+}
+
+// OnCollect registers a hook that runs at the start of every WritePrometheus
+// call, before any family is rendered — the place to refresh derived gauges
+// (queue depths, in-flight counts) from their source of truth. Hooks must
+// not call WritePrometheus.
+func (r *Registry) OnCollect(hook func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, hook)
+	r.mu.Unlock()
+}
+
+// WritePrometheus renders every family in text exposition format v0.0.4:
+// families sorted by name, series within a family sorted by label values,
+// histograms as cumulative _bucket series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+
+	for _, hook := range hooks {
+		hook()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.render(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) render(b *strings.Builder) {
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+
+	if f.fn != nil {
+		fmt.Fprintf(b, "%s %s\n", f.name, formatFloat(f.fn()))
+		return
+	}
+
+	f.mu.Lock()
+	all := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		all = append(all, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		return seriesKey(all[i].labelValues) < seriesKey(all[j].labelValues)
+	})
+
+	for _, s := range all {
+		switch f.typ {
+		case typeCounter:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, s.labelValues, "", ""), formatFloat(s.counter.Value()))
+		case typeGauge:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, s.labelValues, "", ""), formatFloat(s.gauge.Value()))
+		case typeHistogram:
+			h := s.hist
+			var cum uint64
+			for i, upper := range h.upper {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, s.labelValues, "le", formatFloat(upper)), cum)
+			}
+			// The +Inf bucket must equal _count by definition; render both
+			// from the same snapshot of the total so a concurrent Observe
+			// cannot make them disagree on one scrape. (cum can lag count if
+			// an Observe lands between the loads above and here; clamping to
+			// count keeps the cumulative invariant monotone.)
+			count := h.count.Load()
+			if cum > count {
+				count = cum
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+				labelString(f.labels, s.labelValues, "le", "+Inf"), count)
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name,
+				labelString(f.labels, s.labelValues, "", ""), formatFloat(h.sum.load()))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name,
+				labelString(f.labels, s.labelValues, "", ""), count)
+		}
+	}
+}
+
+// labelString renders a {k="v",...} block from the family labels plus an
+// optional extra pair (the histogram le label); empty when there are no
+// labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(f float64) string {
+	switch {
+	case math.IsInf(f, +1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	case math.IsNaN(f):
+		return "NaN"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

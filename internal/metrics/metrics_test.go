@@ -1,0 +1,264 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+// TestGoldenExposition pins the exact text format: HELP/TYPE lines, label
+// ordering as registered, escaping of backslashes/quotes/newlines, and
+// sorted family order.
+func TestGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "sorted last despite registration order").Add(3)
+	c := r.CounterVec("aa_requests_total", `counts "requests" with a \ and
+newline`, "route", "method")
+	c.With(`/v1/runs`, "GET").Add(2)
+	c.With("esc\"aped\\v\nal", "POST").Inc()
+	r.Gauge("mm_depth", "queue depth").Set(7.5)
+
+	want := `# HELP aa_requests_total counts "requests" with a \\ and\nnewline
+# TYPE aa_requests_total counter
+aa_requests_total{route="/v1/runs",method="GET"} 2
+aa_requests_total{route="esc\"aped\\v\nal",method="POST"} 1
+# HELP mm_depth queue depth
+# TYPE mm_depth gauge
+mm_depth 7.5
+# HELP zz_last_total sorted last despite registration order
+# TYPE zz_last_total counter
+zz_last_total 3
+`
+	if got := render(t, r); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHistogramExposition pins cumulative buckets, the implicit +Inf
+// bucket, and the _sum/_count invariants.
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.06, 0.3, 0.9, 42} {
+		h.Observe(v)
+	}
+	want := `# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 2
+lat_seconds_bucket{le="0.5"} 3
+lat_seconds_bucket{le="1"} 4
+lat_seconds_bucket{le="+Inf"} 5
+lat_seconds_sum 43.31
+lat_seconds_count 5
+`
+	if got := render(t, r); got != want {
+		t.Errorf("histogram exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHistogramVecLabelsAndInf: the le label composes after the family
+// labels, and an explicit +Inf bound collapses into the implicit one.
+func TestHistogramVecLabelsAndInf(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("dur_seconds", "", []float64{1, math.Inf(+1)}, "wl")
+	h.With("pathcount").Observe(2)
+	got := render(t, r)
+	for _, want := range []string{
+		`dur_seconds_bucket{wl="pathcount",le="1"} 0`,
+		`dur_seconds_bucket{wl="pathcount",le="+Inf"} 1`,
+		`dur_seconds_sum{wl="pathcount"} 2`,
+		`dur_seconds_count{wl="pathcount"} 1`,
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("exposition lacks %q:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, `le="+Inf"`) != 1 {
+		t.Errorf("want exactly one +Inf bucket:\n%s", got)
+	}
+}
+
+// TestConcurrentUpdates hammers every instrument kind from many goroutines
+// (run with -race in CI) and checks the totals are exact — no lost updates.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	cv := r.CounterVec("cv_total", "", "who")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", []float64{0.5})
+	hv := r.HistogramVec("hv_seconds", "", []float64{0.5}, "who")
+
+	const goroutines, perG = 16, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			who := []string{"a", "b", "c"}[n%3]
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				cv.With(who).Add(2)
+				g.Add(1)
+				h.Observe(float64(j%2) * 0.9) // half land in le=0.5, half in +Inf
+				hv.With(who).Observe(0.1)
+				if j%16 == 0 {
+					// Interleave scrapes with updates: rendering must never
+					// race with Observe/Add (the -race run proves it).
+					var b strings.Builder
+					_ = r.WritePrometheus(&b)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	total := float64(goroutines * perG)
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %v, want %v", got, total)
+	}
+	var cvSum float64
+	for _, who := range []string{"a", "b", "c"} {
+		cvSum += cv.With(who).Value()
+	}
+	if want := 2 * total; cvSum != want {
+		t.Errorf("counter vec sum = %v, want %v", cvSum, want)
+	}
+	if got := g.Value(); got != total {
+		t.Errorf("gauge = %v, want %v", got, total)
+	}
+	if got := h.Count(); got != uint64(total) {
+		t.Errorf("histogram count = %d, want %v", got, total)
+	}
+
+	// The final exposition must parse strictly and uphold the histogram
+	// invariants under the parser's own checks.
+	fams, err := ParsePrometheus(strings.NewReader(render(t, r)))
+	if err != nil {
+		t.Fatalf("strict parse of concurrent exposition: %v", err)
+	}
+	if got := fams["h_seconds"].Sum(); got != total {
+		t.Errorf("parsed h_seconds count = %v, want %v", got, total)
+	}
+}
+
+// TestRoundTrip renders a mixed registry and re-parses it: every value must
+// survive exactly.
+func TestRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("rt_total", "round trip", "tenant", "reason").With("a\\b", "rate \"limited\"").Add(12)
+	r.Gauge("rt_gauge", "g").Set(-3.25)
+	h := r.Histogram("rt_seconds", "h", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(5)
+	r.CounterFunc("rt_func_total", "from closure", func() float64 { return 99 })
+
+	fams, err := ParsePrometheus(strings.NewReader(render(t, r)))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if v, ok := fams["rt_total"].Value(map[string]string{"tenant": `a\b`, "reason": `rate "limited"`}); !ok || v != 12 {
+		t.Errorf("rt_total = %v (found %v), want 12", v, ok)
+	}
+	if v, ok := fams["rt_gauge"].Value(nil); !ok || v != -3.25 {
+		t.Errorf("rt_gauge = %v (found %v), want -3.25", v, ok)
+	}
+	if v, ok := fams["rt_func_total"].Value(nil); !ok || v != 99 {
+		t.Errorf("rt_func_total = %v (found %v), want 99", v, ok)
+	}
+	if fams["rt_seconds"].Type != "histogram" {
+		t.Errorf("rt_seconds type = %s, want histogram", fams["rt_seconds"].Type)
+	}
+	if got := fams["rt_seconds"].Sum(); got != 2 {
+		t.Errorf("rt_seconds observation count = %v, want 2", got)
+	}
+}
+
+// TestCollectHooksAndFuncs: OnCollect hooks refresh derived gauges at
+// scrape time, and func metrics re-read their closure every render.
+func TestCollectHooksAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	depth := 3
+	gv := r.GaugeVec("queue_depth", "", "tenant")
+	r.OnCollect(func() { gv.With("default").Set(float64(depth)) })
+	r.GaugeFunc("live_value", "", func() float64 { return float64(depth * 10) })
+
+	if got := render(t, r); !strings.Contains(got, `queue_depth{tenant="default"} 3`) ||
+		!strings.Contains(got, "live_value 30") {
+		t.Errorf("first render missed hook/func values:\n%s", got)
+	}
+	depth = 9
+	if got := render(t, r); !strings.Contains(got, `queue_depth{tenant="default"} 9`) ||
+		!strings.Contains(got, "live_value 90") {
+		t.Errorf("second render did not refresh:\n%s", got)
+	}
+}
+
+// TestNilSafety: a nil registry and nil instruments are inert, so optional
+// instrumentation needs no call-site guards.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total", "").Inc()
+	r.CounterVec("xv_total", "", "l").With("v").Add(2)
+	r.Gauge("g", "").Set(1)
+	r.GaugeVec("gv", "", "l").With("v").Dec()
+	r.Histogram("h", "", DefBuckets).Observe(1)
+	r.HistogramVec("hv", "", DefBuckets, "l").With("v").Observe(1)
+	r.CounterFunc("cf", "", func() float64 { return 1 })
+	r.GaugeFunc("gf", "", func() float64 { return 1 })
+	r.OnCollect(func() {})
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+}
+
+// TestReregistration: identical re-registration returns the same series;
+// conflicting shape panics.
+func TestReregistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "help")
+	b := r.Counter("dup_total", "help")
+	a.Inc()
+	if b.Value() != 1 {
+		t.Errorf("re-registered counter is a different series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("conflicting re-registration did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "now a gauge")
+}
+
+// TestStrictParserRejections: the parser is actually strict.
+func TestStrictParserRejections(t *testing.T) {
+	bad := []string{
+		"no_value_here\n",
+		"1leading_digit 3\n",
+		`bad_label{9x="v"} 1` + "\n",
+		`unquoted{l=v} 1` + "\n",
+		`unterminated{l="v} 1` + "\n",
+		`bad_escape{l="\q"} 1` + "\n",
+		`dup{l="a",l="b"} 1` + "\n",
+		"not_a_number NaNopes\n",
+		"# TYPE late counter\nlate 1\n# TYPE late counter\n# HELP x\n" +
+			"late 2\n# TYPE late gauge\n", // TYPE after samples
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n", // decreasing buckets
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n",                       // +Inf != count
+		"# TYPE h histogram\nh_sum 1\nh_count 1\n",                                                // no buckets
+	}
+	for _, page := range bad {
+		if _, err := ParsePrometheus(strings.NewReader(page)); err == nil {
+			t.Errorf("parser accepted malformed page:\n%s", page)
+		}
+	}
+}

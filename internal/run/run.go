@@ -232,12 +232,18 @@ type Run struct {
 	// after a service restart interrupted it (the interrupted → queued
 	// recovery transition of the WAL-backed store). It is 0 for runs that
 	// executed within a single process lifetime.
-	Restarts   int        `json:"restarts,omitempty"`
-	Error      string     `json:"error,omitempty"`
-	Result     *Result    `json:"result,omitempty"`
-	CreatedAt  time.Time  `json:"created_at"`
-	StartedAt  *time.Time `json:"started_at,omitempty"`
-	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	Restarts int     `json:"restarts,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	Result   *Result `json:"result,omitempty"`
+	// Lifecycle timestamps. DispatchedAt is when a dispatcher popped the run
+	// off its queue; StartedAt is when the store durably recorded the
+	// queued→running transition. The CreatedAt→DispatchedAt gap is queue
+	// wait, DispatchedAt→StartedAt is Begin overhead (WAL append + fsync),
+	// StartedAt→FinishedAt is execution.
+	CreatedAt    time.Time  `json:"created_at"`
+	DispatchedAt *time.Time `json:"dispatched_at,omitempty"`
+	StartedAt    *time.Time `json:"started_at,omitempty"`
+	FinishedAt   *time.Time `json:"finished_at,omitempty"`
 }
 
 // Store errors.

@@ -37,8 +37,10 @@ type Store interface {
 	// CountByState returns how many runs are in each state.
 	CountByState() map[State]int
 	// Begin transitions a queued run to running and records the
-	// dispatcher's cancel hook.
-	Begin(id string, cancel context.CancelFunc) (Run, error)
+	// dispatcher's cancel hook. dispatchedAt is the moment the dispatcher
+	// popped the run off its queue, stamped on the run alongside the
+	// Begin-time StartedAt.
+	Begin(id string, dispatchedAt time.Time, cancel context.CancelFunc) (Run, error)
 	// Finish transitions a running run to its terminal state.
 	Finish(id string, result *Result, err error) (Run, error)
 	// Cancel requests cancellation (queued → cancelled immediately;
@@ -323,10 +325,10 @@ func (s *MemStore) CountByState() map[State]int {
 }
 
 // Begin transitions a queued run to running, records the dispatcher's
-// cancel hook, and stamps StartedAt. It returns ErrNotQueued (without
-// touching the run) if the run is in any other state — in particular if it
-// was cancelled while still in the queue.
-func (s *MemStore) Begin(id string, cancel context.CancelFunc) (Run, error) {
+// cancel hook, and stamps DispatchedAt and StartedAt. It returns
+// ErrNotQueued (without touching the run) if the run is in any other state
+// — in particular if it was cancelled while still in the queue.
+func (s *MemStore) Begin(id string, dispatchedAt time.Time, cancel context.CancelFunc) (Run, error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -339,6 +341,7 @@ func (s *MemStore) Begin(id string, cancel context.CancelFunc) (Run, error) {
 	}
 	now := time.Now()
 	t.run.State = StateRunning
+	t.run.DispatchedAt = &dispatchedAt
 	t.run.StartedAt = &now
 	t.cancel = cancel
 	return t.run, nil

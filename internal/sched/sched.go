@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
 )
@@ -56,6 +57,22 @@ func New(d *dag.DAG, opts Options) *Executor {
 	return &Executor{d: d, workers: w}
 }
 
+// Process-lifetime execution tallies, exposed through NodesExecuted and
+// Steals for the observability layer (wired up as func-backed counters on
+// the dagd metrics registry).
+var (
+	nodesExecuted atomic.Int64
+	stealsTotal   atomic.Int64
+)
+
+// NodesExecuted returns the total DAG nodes retired by every Executor.Run
+// in this process.
+func NodesExecuted() int64 { return nodesExecuted.Load() }
+
+// Steals returns the total successful work-stealing operations (one
+// stealHalf that found work) across every Executor.Run in this process.
+func Steals() int64 { return stealsTotal.Load() }
+
 // Run executes f once per node, in dependency order, on the work-stealing
 // worker pool. It returns the per-node values indexed by NodeID. If ctx is
 // cancelled mid-run, workers drain promptly and ctx.Err() is returned.
@@ -76,6 +93,11 @@ func (e *Executor) Run(ctx context.Context, f Compute) ([]uint64, error) {
 		}(w)
 	}
 	wg.Wait()
+	// Flush this run's tallies into the process-lifetime counters once,
+	// after the pool drains — the workers themselves never touch a shared
+	// sink (see the per-worker deque comment below).
+	nodesExecuted.Add(r.retired.Load())
+	stealsTotal.Add(r.steals.Load())
 	// A run that retired every node is a success even if ctx was cancelled
 	// in the instant between the last retirement and the workers draining.
 	if got := r.retired.Load(); got == int64(n) {

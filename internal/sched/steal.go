@@ -89,6 +89,7 @@ type wsRun struct {
 	wake    chan struct{}
 	done    chan struct{}
 	retired atomic.Int64
+	steals  atomic.Int64 // successful stealHalf operations this run
 }
 
 func newWSRun(d *dag.DAG, f Compute, workers int, values []uint64) *wsRun {
@@ -144,6 +145,7 @@ func (r *wsRun) steal(self int, scratch *[]dag.NodeID) (dag.NodeID, bool) {
 		if len(got) == 0 {
 			continue
 		}
+		r.steals.Add(1)
 		if len(got) > 1 {
 			r.deques[self].pushBatch(got[1:])
 			r.notify(len(got) - 1)

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -99,6 +100,27 @@ func newRequestID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// routeLabel normalizes a request path to its route pattern so the metric
+// cardinality stays bounded: run IDs collapse into {id}, and paths outside
+// the served surface collapse into "other" (a scanner probing random URLs
+// must not mint one series per probe). Maintained by hand because
+// go 1.22's http.Request has no matched-pattern accessor.
+func routeLabel(path string) string {
+	switch path {
+	case "/v1/runs", "/v1/workloads", "/healthz", "/readyz", "/metrics":
+		return path
+	}
+	if rest, ok := strings.CutPrefix(path, "/v1/runs/"); ok {
+		if strings.HasSuffix(rest, "/cancel") && strings.Count(rest, "/") == 1 {
+			return "/v1/runs/{id}/cancel"
+		}
+		if !strings.Contains(rest, "/") {
+			return "/v1/runs/{id}"
+		}
+	}
+	return "other"
+}
+
 // withRequestLog wraps next with request logging (method, path, status,
 // duration) and request-ID propagation: an incoming X-Request-ID is
 // honored, otherwise one is generated, and either way it is echoed on the
@@ -112,11 +134,17 @@ func (s *Server) withRequestLog(next http.Handler) http.Handler {
 		w.Header().Set("X-Request-ID", rid)
 		rw := &responseWriter{ResponseWriter: w}
 		start := time.Now()
+		s.httpInflight.Inc()
 		next.ServeHTTP(rw, r)
+		s.httpInflight.Dec()
 		if rw.status == 0 {
 			rw.status = http.StatusOK
 		}
+		elapsed := time.Since(start)
+		route := routeLabel(r.URL.Path)
+		s.httpRequests.With(route, r.Method, strconv.Itoa(rw.status)).Inc()
+		s.httpLatency.With(route, r.Method).Observe(elapsed.Seconds())
 		s.logf("dagd: %s %s %d %s rid=%s", r.Method, r.URL.Path, rw.status,
-			time.Since(start).Round(time.Microsecond), rid)
+			elapsed.Round(time.Microsecond), rid)
 	})
 }

@@ -7,6 +7,7 @@
 //	GET  /v1/workloads        list registered workloads + the service default
 //	GET  /healthz             liveness + queue stats (stays 200 while draining)
 //	GET  /readyz              readiness; 503 shutting_down once shutdown starts
+//	GET  /metrics             Prometheus text exposition of every dagd metric
 //
 // Submissions are attributed to the tenant named by the X-Tenant header
 // (absent/empty = the catch-all "default" tenant); per-tenant quotas and
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/core"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/metrics"
 )
 
 // maxSpecBytes bounds the POST /v1/runs body. Explicit specs carry literal
@@ -58,6 +60,10 @@ type Server struct {
 	mux      *http.ServeMux
 	logf     func(format string, args ...any)
 	draining atomic.Bool // set once graceful shutdown begins
+
+	httpRequests *metrics.CounterVec   // dagd_http_requests_total{route,method,status}
+	httpLatency  *metrics.HistogramVec // dagd_http_request_seconds{route,method}
+	httpInflight *metrics.Gauge        // dagd_http_inflight_requests
 }
 
 // New returns a Server routing to svc.
@@ -70,7 +76,32 @@ func New(svc *core.Service) *Server {
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	reg := svc.Metrics()
+	s.httpRequests = reg.CounterVec("dagd_http_requests_total",
+		"HTTP requests served, by normalized route, method, and status code.",
+		"route", "method", "status")
+	s.httpLatency = reg.HistogramVec("dagd_http_request_seconds",
+		"HTTP request latency by normalized route and method. ?wait= long-polls land here too, so the upper buckets reach the 30s poll cap.",
+		[]float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30}, "route", "method")
+	s.httpInflight = reg.Gauge("dagd_http_inflight_requests",
+		"HTTP requests currently being served.")
 	return s
+}
+
+// MetricsHandler returns the bare /metrics handler for mounting on a
+// second listener (dagd's -debug-addr), outside the request-logging and
+// instrumentation middleware so debug scrapes don't skew the HTTP series.
+func (s *Server) MetricsHandler() http.Handler { return http.HandlerFunc(s.handleMetrics) }
+
+// handleMetrics renders every registered family in Prometheus text
+// exposition format v0.0.4.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.svc.Metrics().WritePrometheus(w); err != nil {
+		s.logf("dagd: writing /metrics: %v", err)
+	}
 }
 
 // Handler returns the full handler chain — request logging and

@@ -62,6 +62,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/metrics"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/tenant"
 )
@@ -113,6 +114,9 @@ type Options struct {
 	// SegmentMaxBytes rotates the active segment once it grows past this
 	// size, bounding the largest file replay must buffer. Zero means 8MB.
 	SegmentMaxBytes int64
+	// Metrics receives the store's instrumentation (append/fsync volume and
+	// latency, rotations, compactions). Nil disables it.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -141,6 +145,41 @@ type Store struct {
 	nextSeq  uint64 // next file sequence number (segments and snapshots share it)
 	appended int    // records since the last compaction (or replayed since boot)
 	closed   bool
+
+	met walInstruments
+}
+
+// walInstruments is the store's metric handles; all nil-safe.
+type walInstruments struct {
+	appends       *metrics.Counter   // dagd_wal_appends_total
+	appendedBytes *metrics.Counter   // dagd_wal_appended_bytes_total
+	fsyncs        *metrics.Counter   // dagd_wal_fsyncs_total
+	fsyncSeconds  *metrics.Histogram // dagd_wal_fsync_seconds
+	rotations     *metrics.Counter   // dagd_wal_segment_rotations_total
+	compactions   *metrics.Counter   // dagd_wal_compactions_total
+	compactSecs   *metrics.Histogram // dagd_wal_compaction_seconds
+	reclaimed     *metrics.Counter   // dagd_wal_compaction_reclaimed_records_total
+}
+
+func newWALInstruments(reg *metrics.Registry) walInstruments {
+	return walInstruments{
+		appends: reg.Counter("dagd_wal_appends_total",
+			"Records appended to the active WAL segment."),
+		appendedBytes: reg.Counter("dagd_wal_appended_bytes_total",
+			"Bytes appended to WAL segments (framed record size)."),
+		fsyncs: reg.Counter("dagd_wal_fsyncs_total",
+			"Per-record fsyncs performed because the store runs with Fsync on."),
+		fsyncSeconds: reg.Histogram("dagd_wal_fsync_seconds",
+			"Latency of per-record fsyncs.", metrics.IOBuckets),
+		rotations: reg.Counter("dagd_wal_segment_rotations_total",
+			"Active-segment rotations (seal + open a fresh segment)."),
+		compactions: reg.Counter("dagd_wal_compactions_total",
+			"Completed compactions (snapshot written, older files removed)."),
+		compactSecs: reg.Histogram("dagd_wal_compaction_seconds",
+			"Wall time of a completed compaction.", metrics.DefBuckets),
+		reclaimed: reg.Counter("dagd_wal_compaction_reclaimed_records_total",
+			"Log records dropped by compaction: records accumulated since the prior compaction minus the snapshot records that replaced them."),
+	}
 }
 
 var _ run.Store = (*Store)(nil)
@@ -154,7 +193,7 @@ func Open(dir string, opts Options) (*Store, []run.Run, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: creating data dir: %w", err)
 	}
-	s := &Store{dir: dir, opts: opts, mem: run.NewMemStore()}
+	s := &Store{dir: dir, opts: opts, mem: run.NewMemStore(), met: newWALInstruments(opts.Metrics)}
 
 	replayed, maxSeq, err := s.load()
 	if err != nil {
@@ -196,6 +235,7 @@ func Open(dir string, opts Options) (*Store, []run.Run, error) {
 		}
 		// interrupted → queued: the process died before this run finished.
 		r.State = run.StateQueued
+		r.DispatchedAt = nil
 		r.StartedAt = nil
 		r.Result = nil
 		r.Error = ""
@@ -480,12 +520,17 @@ func (s *Store) append(rec record) error {
 		return fmt.Errorf("wal: appending record: %w", err)
 	}
 	if s.opts.Fsync {
+		t0 := time.Now()
 		if err := s.seg.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
+		s.met.fsyncs.Inc()
+		s.met.fsyncSeconds.Observe(time.Since(t0).Seconds())
 	}
 	s.segBytes += int64(len(buf))
 	s.appended++
+	s.met.appends.Inc()
+	s.met.appendedBytes.Add(float64(len(buf)))
 	if s.opts.CompactThreshold > 0 && s.appended >= s.opts.CompactThreshold {
 		if err := s.compact(); err != nil {
 			// Compaction failure is not data loss — the log is intact, just
@@ -510,6 +555,7 @@ func (s *Store) rotate() error {
 	if err := s.seg.Close(); err != nil {
 		return fmt.Errorf("wal: closing sealed segment: %w", err)
 	}
+	s.met.rotations.Inc()
 	return s.openSegment()
 }
 
@@ -519,6 +565,7 @@ func (s *Store) rotate() error {
 // so a crash at any point leaves either the old chain or the new snapshot
 // fully intact. Callers hold mu.
 func (s *Store) compact() error {
+	t0 := time.Now()
 	snapSeq := s.nextSeq
 	s.nextSeq++
 
@@ -574,7 +621,12 @@ func (s *Store) compact() error {
 	// The old active segment's sequence number is below snapSeq, so it was
 	// just removed out from under its handle; swap in a fresh one.
 	s.seg.Close()
+	if dropped := s.appended - len(runs); dropped > 0 {
+		s.met.reclaimed.Add(float64(dropped))
+	}
 	s.appended = 0
+	s.met.compactions.Inc()
+	s.met.compactSecs.Observe(time.Since(t0).Seconds())
 	return s.openSegment()
 }
 
@@ -599,10 +651,10 @@ func (s *Store) Create(spec run.Spec) (run.Run, error) {
 // applied in memory first and then logged; a log failure is returned but
 // the in-memory transition stands — memory is the source of truth while
 // the process lives, and the next compaction re-syncs the log.
-func (s *Store) Begin(id string, cancel context.CancelFunc) (run.Run, error) {
+func (s *Store) Begin(id string, dispatchedAt time.Time, cancel context.CancelFunc) (run.Run, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r, err := s.mem.Begin(id, cancel)
+	r, err := s.mem.Begin(id, dispatchedAt, cancel)
 	if err != nil {
 		return r, err
 	}

@@ -62,7 +62,7 @@ func create(t *testing.T, s run.Store) run.Run {
 
 func begin(t *testing.T, s run.Store, id string) run.Run {
 	t.Helper()
-	r, err := s.Begin(id, func() {})
+	r, err := s.Begin(id, time.Now(), func() {})
 	if err != nil {
 		t.Fatalf("Begin(%s): %v", id, err)
 	}
@@ -152,7 +152,7 @@ func testWrongStateTransitions(t *testing.T, newStore Factory) {
 	if _, err := s.Get("nope"); !errors.Is(err, run.ErrNotFound) {
 		t.Errorf("Get(missing) = %v, want ErrNotFound", err)
 	}
-	if _, err := s.Begin("nope", func() {}); !errors.Is(err, run.ErrNotFound) {
+	if _, err := s.Begin("nope", time.Now(), func() {}); !errors.Is(err, run.ErrNotFound) {
 		t.Errorf("Begin(missing) = %v, want ErrNotFound", err)
 	}
 	if _, err := s.Finish("nope", nil, nil); !errors.Is(err, run.ErrNotFound) {
@@ -167,11 +167,11 @@ func testWrongStateTransitions(t *testing.T, newStore Factory) {
 		t.Errorf("Finish(queued) = %v, want ErrNotRunning", err)
 	}
 	begin(t, s, r.ID)
-	if _, err := s.Begin(r.ID, func() {}); !errors.Is(err, run.ErrNotQueued) {
+	if _, err := s.Begin(r.ID, time.Now(), func() {}); !errors.Is(err, run.ErrNotQueued) {
 		t.Errorf("Begin(running) = %v, want ErrNotQueued", err)
 	}
 	finish(t, s, r.ID, &run.Result{Match: true}, nil)
-	if _, err := s.Begin(r.ID, func() {}); !errors.Is(err, run.ErrNotQueued) {
+	if _, err := s.Begin(r.ID, time.Now(), func() {}); !errors.Is(err, run.ErrNotQueued) {
 		t.Errorf("Begin(terminal) = %v, want ErrNotQueued", err)
 	}
 	if _, err := s.Finish(r.ID, nil, nil); !errors.Is(err, run.ErrNotRunning) {
@@ -190,7 +190,7 @@ func testCancelQueued(t *testing.T, newStore Factory) {
 		t.Fatalf("Cancel(queued) = %+v, want cancelled with FinishedAt", c)
 	}
 	// A dispatcher popping this ID later must be refused.
-	if _, err := s.Begin(r.ID, func() {}); !errors.Is(err, run.ErrNotQueued) {
+	if _, err := s.Begin(r.ID, time.Now(), func() {}); !errors.Is(err, run.ErrNotQueued) {
 		t.Errorf("Begin after cancel = %v, want ErrNotQueued", err)
 	}
 	if _, err := s.Cancel(r.ID); !errors.Is(err, run.ErrTerminal) {
@@ -202,7 +202,7 @@ func testCancelRunning(t *testing.T, newStore Factory) {
 	s := newStore(t)
 	r := create(t, s)
 	fired := false
-	if _, err := s.Begin(r.ID, func() { fired = true }); err != nil {
+	if _, err := s.Begin(r.ID, time.Now(), func() { fired = true }); err != nil {
 		t.Fatal(err)
 	}
 	c, err := s.Cancel(r.ID)

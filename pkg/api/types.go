@@ -96,12 +96,19 @@ type Run struct {
 	SpecRedacted bool `json:"spec_redacted,omitempty"`
 	// Restarts counts how many times a durable (WAL-backed) server
 	// re-admitted this run to its queue after a restart interrupted it.
-	Restarts   int        `json:"restarts,omitempty"`
-	Error      string     `json:"error,omitempty"`
-	Result     *Result    `json:"result,omitempty"`
-	CreatedAt  time.Time  `json:"created_at"`
-	StartedAt  *time.Time `json:"started_at,omitempty"`
-	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	Restarts int     `json:"restarts,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	Result   *Result `json:"result,omitempty"`
+	// Lifecycle timestamps, each stamped when the run crosses the matching
+	// transition: CreatedAt at admission, DispatchedAt when a dispatcher
+	// popped it off the queue, StartedAt when the queued→running transition
+	// was recorded (the gap to DispatchedAt is the server's Begin overhead,
+	// e.g. a WAL fsync), FinishedAt at the terminal transition. Clients
+	// compute queue-vs-execute breakdowns from these.
+	CreatedAt    time.Time  `json:"created_at"`
+	DispatchedAt *time.Time `json:"dispatched_at,omitempty"`
+	StartedAt    *time.Time `json:"started_at,omitempty"`
+	FinishedAt   *time.Time `json:"finished_at,omitempty"`
 }
 
 // RunList is one page of GET /v1/runs. NextCursor is empty on the last
