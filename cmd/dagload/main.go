@@ -12,15 +12,17 @@
 //     started_at → finished_at is execution),
 //   - offered vs achieved RPS, and error/429 tallies by cause.
 //
-// The committed BENCH_service.json at the repo root is a dagload report;
-// see README "Observability" for how to refresh it. CI runs a short
-// fixed-seed sweep against a loose p99 ceiling (-p99-ceiling) so gross
-// service-latency regressions fail the build.
+// The committed BENCH_service.json at the repo root pairs two dagload
+// reports — an in-memory baseline and an fsync-on sharded-WAL run — under
+// the keys "baseline" and "fsync_sharded"; see README "Observability" for
+// how to refresh it. CI runs short fixed-seed sweeps against a loose p99
+// ceiling (-p99-ceiling) and, with -fsync on, an achieved-vs-offered RPS
+// floor, so gross service-latency regressions fail the build.
 //
 // Usage:
 //
 //	dagload -base http://127.0.0.1:8080 -rps 25 -duration 10s
-//	dagload -rps 50 -duration 30s -tenants bench-a,bench-b -out BENCH_service.json
+//	dagload -rps 50 -duration 30s -tenants bench-a,bench-b -out report.json
 //	dagload -rps 10 -duration 3s -seed 42 -p99-ceiling 5s   # the CI gate
 package main
 
@@ -51,7 +53,8 @@ type LatencySummary struct {
 	Mean  float64 `json:"mean_ms"`
 }
 
-// Report is the JSON document dagload emits (and BENCH_service.json holds).
+// Report is the JSON document dagload emits (BENCH_service.json holds one
+// per variant).
 type Report struct {
 	GeneratedAt string `json:"generated_at"`
 	Config      struct {

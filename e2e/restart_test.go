@@ -299,6 +299,91 @@ func TestCrashRecovery(t *testing.T) {
 	p3.stop(t)
 }
 
+// TestCrashRecoveryShardedFsync repeats the SIGKILL crash-recovery pass
+// against the sharded group-commit configuration (-wal-shards 4 -fsync):
+// terminal history and interrupted-run re-admission must survive a hard
+// kill exactly as they do under the defaults, and a restart asking for a
+// different shard count must refuse to load rather than split run
+// histories across layouts.
+func TestCrashRecoveryShardedFsync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e restart test builds and kills real processes")
+	}
+	bin := buildDagd(t)
+	dataDir := t.TempDir()
+	ctx := context.Background()
+	shardArgs := []string{"-wal-shards", "4", "-fsync"}
+
+	p1 := startDagd(t, bin, dataDir, shardArgs...)
+
+	// Enough terminal runs to touch several shards (IDs are routed by
+	// hash), plus one run killed mid-flight and one still queued.
+	var terminal []string
+	for i := 0; i < 6; i++ {
+		r, err := p1.c.SubmitExplicit(ctx, 4, diamond, client.SubmitOptions{})
+		if err != nil {
+			t.Fatalf("SubmitExplicit: %v", err)
+		}
+		terminal = append(terminal, r.ID)
+	}
+	for _, id := range terminal {
+		wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+		r, err := p1.c.Wait(wctx, id)
+		cancel()
+		if err != nil || r.State != api.StateSucceeded {
+			t.Fatalf("pre-crash run %s = %v, %v; want succeeded", id, r, err)
+		}
+	}
+	slow, err := p1.c.Submit(ctx, slowSpec())
+	if err != nil {
+		t.Fatalf("Submit(slow): %v", err)
+	}
+	waitState(t, p1.c, slow.ID, api.StateRunning)
+	queued, err := p1.c.SubmitExplicit(ctx, 4, diamond, client.SubmitOptions{})
+	if err != nil {
+		t.Fatalf("SubmitExplicit(queued): %v", err)
+	}
+	p1.sigkill(t)
+
+	// A restart with a different shard count must fail closed: the process
+	// exits non-zero before ever listening, naming the mismatch.
+	mism := exec.Command(bin, "-addr", "127.0.0.1:0", "-data-dir", dataDir,
+		"-wal-shards", "2", "-fsync")
+	out, err := mism.CombinedOutput()
+	if err == nil {
+		mism.Process.Kill()
+		t.Fatalf("dagd started over a 4-shard data dir with -wal-shards 2; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "shard count") {
+		t.Errorf("mismatch refusal doesn't name the shard count:\n%s", out)
+	}
+
+	// The matching count recovers everything.
+	p2 := startDagd(t, bin, dataDir, shardArgs...)
+	for _, id := range terminal {
+		r, err := p2.c.Get(ctx, id)
+		if err != nil || r.State != api.StateSucceeded || r.Result == nil || !r.Result.Match {
+			t.Fatalf("terminal run %s degraded across sharded restart: %+v, %v", id, r, err)
+		}
+	}
+	for _, interrupted := range []*api.Run{slow, queued} {
+		got, err := p2.c.Get(ctx, interrupted.ID)
+		if err != nil {
+			t.Fatalf("Get(interrupted %s): %v", interrupted.ID, err)
+		}
+		if got.Restarts < 1 {
+			t.Errorf("interrupted run %s has Restarts = %d, want >= 1", interrupted.ID, got.Restarts)
+		}
+		wctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+		fin, err := p2.c.Wait(wctx, interrupted.ID)
+		cancel()
+		if err != nil || fin.State != api.StateSucceeded {
+			t.Fatalf("interrupted run %s finished as %+v, %v; want succeeded", interrupted.ID, fin, err)
+		}
+	}
+	p2.stop(t)
+}
+
 // TestRestartPreservesFsync runs a minimal durability pass with -fsync on,
 // covering the flag plumbing end to end.
 func TestRestartPreservesFsync(t *testing.T) {

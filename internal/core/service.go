@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dispatch"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/metrics"
@@ -103,13 +104,25 @@ type ServiceOptions struct {
 	// re-admitted to the dispatcher. Empty keeps the in-memory store
 	// (a restart loses everything, as before).
 	DataDir string
-	// Fsync makes the WAL fsync every appended record (durability against
-	// power loss, at a per-transition disk cost). Only meaningful with
-	// DataDir set.
+	// Fsync makes every acknowledged transition durable against power loss:
+	// a WAL append does not return until its record is fsynced. Syncs are
+	// group-committed per shard, so concurrent transitions share one fsync.
+	// Only meaningful with DataDir set.
 	Fsync bool
-	// CompactThreshold is how many WAL records may accumulate before
-	// terminal runs are compacted into a snapshot file and old segments
-	// removed (0 = 4096, negative = never). Only meaningful with DataDir.
+	// FsyncMaxDelay bounds how long a WAL group-commit batch may keep
+	// accumulating while appends are arriving (0 = wal.DefaultFsyncMaxDelay,
+	// negative = sync each batch immediately). Only meaningful with Fsync.
+	FsyncMaxDelay time.Duration
+	// WALShards is the number of independent WAL shard directories (0 =
+	// adopt the data dir's manifest, or wal.DefaultShards when fresh). A
+	// non-zero value that disagrees with an existing manifest fails
+	// NewService with wal.ErrShardCountMismatch. Only meaningful with
+	// DataDir.
+	WALShards int
+	// CompactThreshold is how many WAL records may accumulate in one shard
+	// before its terminal runs are compacted into a snapshot file and old
+	// segments removed (0 = 4096, negative = never). Only meaningful with
+	// DataDir.
 	CompactThreshold int
 	// Tenants is the multi-tenant admission policy (dagd -tenants). Nil
 	// means only the catch-all default tenant exists — every submission
@@ -170,6 +183,8 @@ func NewService(opts ServiceOptions) (*Service, error) {
 	if opts.DataDir != "" {
 		ws, rec, err := wal.Open(opts.DataDir, wal.Options{
 			Fsync:            opts.Fsync,
+			FsyncMaxDelay:    opts.FsyncMaxDelay,
+			Shards:           opts.WALShards,
 			CompactThreshold: opts.CompactThreshold,
 			Metrics:          opts.Metrics,
 		})

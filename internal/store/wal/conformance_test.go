@@ -9,9 +9,10 @@ import (
 )
 
 // TestStoreConformance runs the shared store conformance suite against the
-// WAL backend, in its default configuration and with per-record fsync, so
+// WAL backend — default config, group-commit fsync, aggressive compaction,
+// and explicit shard counts at 1 and 4 (each with and without fsync) — so
 // list order, eviction, Await, and cursor semantics are bit-identical to
-// the in-memory store's.
+// the in-memory store's no matter how the log is laid out.
 func TestStoreConformance(t *testing.T) {
 	open := func(opts wal.Options) storetest.Factory {
 		return func(t *testing.T) run.Store {
@@ -32,5 +33,13 @@ func TestStoreConformance(t *testing.T) {
 	// every conformance scenario.
 	t.Run("AggressiveCompaction", func(t *testing.T) {
 		storetest.Run(t, open(wal.Options{CompactThreshold: 4}))
+	})
+	t.Run("Shards1", func(t *testing.T) { storetest.Run(t, open(wal.Options{Shards: 1})) })
+	t.Run("Shards1Fsync", func(t *testing.T) {
+		storetest.Run(t, open(wal.Options{Shards: 1, Fsync: true}))
+	})
+	t.Run("Shards4", func(t *testing.T) { storetest.Run(t, open(wal.Options{Shards: 4})) })
+	t.Run("Shards4Fsync", func(t *testing.T) {
+		storetest.Run(t, open(wal.Options{Shards: 4, Fsync: true}))
 	})
 }

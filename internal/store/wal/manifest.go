@@ -1,0 +1,212 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DefaultShards is the shard count for a freshly initialized data dir when
+// Options.Shards is 0. Beyond the core count extra shards only add file
+// handles; 8 keeps per-shard contention negligible on typical hosts while
+// the manifest lets bigger deployments pin more.
+const DefaultShards = 8
+
+// MaxShards bounds the shard count: past this, per-shard batching degrades
+// (each shard sees too few appends to group) and open-file pressure grows.
+const MaxShards = 64
+
+// ErrShardCountMismatch is returned by Open when the requested shard count
+// disagrees with the one pinned in the data dir's manifest. Records are
+// routed to shards by run-ID hash mod the shard count, so opening an
+// existing layout with a different count would split each run's history
+// across shards; the store fails closed instead.
+var ErrShardCountMismatch = errors.New("wal: shard count mismatch")
+
+// manifestName is the layout-pinning file at the data dir root.
+const manifestName = "MANIFEST"
+
+// manifest pins the facts replay cannot re-derive: the layout version and
+// the shard count every run ID was hashed with.
+type manifest struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+// readManifest returns the data dir's manifest, or nil if none exists yet.
+// An unreadable or implausible manifest is corruption: the shard count is
+// the one fact replay cannot reconstruct, so the store refuses to guess.
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("wal: manifest is corrupt: %v (refusing to guess the shard layout)", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("wal: manifest version %d not supported", m.Version)
+	}
+	if m.Shards < 1 || m.Shards > MaxShards {
+		return nil, fmt.Errorf("wal: manifest pins implausible shard count %d", m.Shards)
+	}
+	return &m, nil
+}
+
+func writeManifest(dir string, shards int) error {
+	data, err := json.Marshal(manifest{Version: 1, Shards: shards})
+	if err != nil {
+		return fmt.Errorf("wal: encoding manifest: %w", err)
+	}
+	return writeFileAtomic(dir, manifestName, append(data, '\n'))
+}
+
+// resolveShards decides the shard count for dir and brings the directory to
+// the sharded layout:
+//
+//   - A manifest pins the count. A non-zero request that disagrees is
+//     refused with ErrShardCountMismatch — re-hashing run IDs with a new
+//     modulus would scatter each run's records across shards and break the
+//     per-shard replay-order guarantee.
+//   - No manifest but root-level log files: a legacy (pre-shard,
+//     single-stream) layout. It is migrated in place: the root chain is
+//     replayed and re-written as one snapshot per shard, the manifest is
+//     installed, and only then are the root files removed — a crash at any
+//     point leaves either the untouched legacy layout or a complete
+//     sharded one.
+//   - Neither: a fresh dir; the manifest is written with the requested (or
+//     default) count. Stray shard dirs without a manifest are debris from
+//     an interrupted migration and are wiped.
+func resolveShards(dir string, requested int) (int, error) {
+	if requested < 0 || requested > MaxShards {
+		return 0, fmt.Errorf("wal: shard count %d out of range [1,%d] (0 = adopt existing layout or default %d)",
+			requested, MaxShards, DefaultShards)
+	}
+	m, err := readManifest(dir)
+	if err != nil {
+		return 0, err
+	}
+	if m != nil {
+		if requested != 0 && requested != m.Shards {
+			return 0, fmt.Errorf("%w: data dir %s was created with %d shards, asked to open with %d (a run's records live in exactly one shard; a different count would split its history)",
+				ErrShardCountMismatch, dir, m.Shards, requested)
+		}
+		// Root-level log files under a manifest are pre-migration leftovers
+		// (migration removes them only after the manifest is durable); their
+		// content already lives in the shard snapshots.
+		removeRootLogs(dir)
+		return m.Shards, nil
+	}
+
+	n := requested
+	if n == 0 {
+		n = DefaultShards
+	}
+	snaps, segs, err := scanDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(snaps)+len(segs) > 0 {
+		if err := migrateLegacy(dir, n); err != nil {
+			return 0, err
+		}
+		return n, nil
+	}
+	// Fresh dir. Shard dirs are only meaningful under a manifest; any that
+	// exist are debris from a migration that died before pinning one.
+	if err := removeShardDirs(dir); err != nil {
+		return 0, err
+	}
+	if err := writeManifest(dir, n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// migrateLegacy rewrites a pre-shard single-stream layout into n shards:
+// replay the root chain (same corruption policy as any open: torn tail of
+// the final segment tolerated, damage in sealed files refused), write each
+// surviving run into its hash shard's baseline snapshot, install the
+// manifest, then drop the root files. Runs with a pending cancellation
+// acknowledgement are carried as cancel-request records so recovery still
+// finishes the cancellation instead of re-admitting them.
+func migrateLegacy(dir string, n int) error {
+	if err := removeShardDirs(dir); err != nil {
+		return err
+	}
+	state, _, err := loadChain(dir)
+	if err != nil {
+		return fmt.Errorf("wal: migrating legacy single-stream layout: %w", err)
+	}
+	bufs := make([][]byte, n)
+	for id, r := range state.runs {
+		r := r
+		rec := record{Op: opPut, Run: &r}
+		if state.cancelRequested[id] && !r.State.Terminal() {
+			rec.Op = opCancelReq
+		}
+		i := shardIndex(id, n)
+		if bufs[i], err = encodeFrame(bufs[i], rec); err != nil {
+			return err
+		}
+	}
+	for i := range bufs {
+		sdir := filepath.Join(dir, shardDirName(i))
+		if err := os.MkdirAll(sdir, 0o755); err != nil {
+			return fmt.Errorf("wal: creating shard dir: %w", err)
+		}
+		if len(bufs[i]) == 0 {
+			continue
+		}
+		if err := writeFileAtomic(sdir, snapshotName(1), bufs[i]); err != nil {
+			return err
+		}
+	}
+	if err := writeManifest(dir, n); err != nil {
+		return err
+	}
+	removeRootLogs(dir)
+	log.Printf("wal: migrated legacy single-stream layout at %s into %d shards (%d runs)", dir, n, len(state.runs))
+	return nil
+}
+
+// removeRootLogs drops root-level segment/snapshot files (and staging
+// temps). Only called once their content is durable elsewhere.
+func removeRootLogs(dir string) {
+	snaps, segs, err := scanDir(dir)
+	if err != nil {
+		return
+	}
+	for _, seq := range snaps {
+		os.Remove(filepath.Join(dir, snapshotName(seq)))
+	}
+	for _, seq := range segs {
+		os.Remove(filepath.Join(dir, segmentName(seq)))
+	}
+	removeStaleTemps(dir)
+}
+
+// removeShardDirs wipes shard-NN directories. Callers only do this when no
+// manifest exists, i.e. the dirs can only be interrupted-migration debris.
+func removeShardDirs(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("wal: scanning data dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("wal: removing stale %s: %w", e.Name(), err)
+			}
+		}
+	}
+	return nil
+}

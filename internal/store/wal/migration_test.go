@@ -1,0 +1,153 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+)
+
+// writeLegacyLayout hand-crafts a pre-shard data dir: one root-level
+// segment chain, no MANIFEST — byte-for-byte what the single-stream store
+// left behind. Returns the IDs of the terminal, interrupted, and
+// cancel-acknowledged runs it contains.
+func writeLegacyLayout(t *testing.T, dir string) (terminalID, queuedID, cancelReqID string) {
+	t.Helper()
+	now := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	started := now.Add(time.Second)
+	finishedAt := now.Add(2 * time.Second)
+	spec := run.Spec{Config: gen.Config{Shape: gen.Pipeline, Stages: 3, Width: 2}}
+
+	var buf []byte
+	var err error
+	appendRec := func(rec record) {
+		if buf, err = encodeFrame(buf, rec); err != nil {
+			t.Fatalf("encodeFrame: %v", err)
+		}
+	}
+	terminal := run.Run{
+		ID: "r000001-aaaaaaaa", Spec: spec, State: run.StateQueued, CreatedAt: now,
+	}
+	appendRec(record{Op: opCreate, Run: &terminal})
+	terminal.State = run.StateSucceeded
+	terminal.StartedAt = &started
+	terminal.FinishedAt = &finishedAt
+	terminal.Result = &run.Result{Nodes: 8, Match: true}
+	appendRec(record{Op: opFinish, Run: &terminal})
+
+	queued := run.Run{
+		ID: "r000002-bbbbbbbb", Spec: spec, State: run.StateQueued, CreatedAt: now.Add(3 * time.Second),
+	}
+	appendRec(record{Op: opCreate, Run: &queued})
+
+	cancelled := run.Run{
+		ID: "r000003-cccccccc", Spec: spec, State: run.StateRunning,
+		CreatedAt: now.Add(4 * time.Second), StartedAt: &started,
+	}
+	appendRec(record{Op: opCreate, Run: &cancelled})
+	appendRec(record{Op: opCancelReq, Run: &cancelled})
+
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return terminal.ID, queued.ID, cancelled.ID
+}
+
+// TestLegacyMigration pins the in-place upgrade: opening a pre-shard data
+// dir rewrites it into the sharded layout — runs land in their hash shards,
+// the manifest pins the count, the root files are gone — with the same
+// recovery semantics the single-stream store had (terminal history kept,
+// interrupted runs re-admitted, acknowledged cancels finished).
+func TestLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	terminalID, queuedID, cancelReqID := writeLegacyLayout(t, dir)
+
+	s, recovered, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatalf("Open over legacy layout: %v", err)
+	}
+	if got, err := s.Get(terminalID); err != nil || got.State != run.StateSucceeded || got.Result == nil {
+		t.Errorf("terminal run after migration = %+v, %v; want intact succeeded", got, err)
+	}
+	if len(recovered) != 1 || recovered[0].ID != queuedID || recovered[0].Restarts != 1 {
+		t.Errorf("recovered = %+v, want just %s re-admitted with Restarts 1", recovered, queuedID)
+	}
+	if got, err := s.Get(cancelReqID); err != nil || got.State != run.StateCancelled {
+		t.Errorf("cancel-acknowledged run after migration = %+v, %v; want cancelled", got, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The root chain is gone; its content lives in the shard dirs under a
+	// manifest pinning the migrated count.
+	if _, err := os.Stat(filepath.Join(dir, segmentName(1))); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("legacy root segment still present after migration (stat err %v)", err)
+	}
+	m, err := readManifest(dir)
+	if err != nil || m == nil || m.Shards != 4 {
+		t.Fatalf("manifest after migration = %+v, %v; want 4 shards", m, err)
+	}
+	for _, id := range []string{terminalID, cancelReqID} {
+		sdir := filepath.Join(dir, shardDirName(shardIndex(id, 4)))
+		if _, err := os.Stat(sdir); err != nil {
+			t.Errorf("shard dir %s for %s missing: %v", sdir, id, err)
+		}
+	}
+
+	// The migrated layout reopens cleanly with the count adopted from the
+	// manifest...
+	s2, recovered2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after migration: %v", err)
+	}
+	if s2.Shards() != 4 {
+		t.Errorf("Shards() = %d after adopting manifest, want 4", s2.Shards())
+	}
+	if len(recovered2) != 1 || recovered2[0].ID != queuedID || recovered2[0].Restarts != 2 {
+		t.Errorf("second recovery = %+v, want %s with Restarts 2", recovered2, queuedID)
+	}
+	if got, _ := s2.Get(terminalID); got.State != run.StateSucceeded {
+		t.Errorf("terminal run state after reopen = %s, want succeeded", got.State)
+	}
+	s2.Close()
+
+	// ...and fails closed under any other count.
+	if _, _, err := Open(dir, Options{Shards: 2}); !errors.Is(err, ErrShardCountMismatch) {
+		t.Fatalf("Open with mismatched shard count = %v, want ErrShardCountMismatch", err)
+	}
+}
+
+// TestMigrationRefusesCorruptLegacyChain pins that migration inherits the
+// corruption policy: a damaged sealed file in the legacy chain refuses to
+// migrate rather than converting a partial history.
+func TestMigrationRefusesCorruptLegacyChain(t *testing.T) {
+	dir := t.TempDir()
+	writeLegacyLayout(t, dir)
+	// A second, later segment seals the first; then damage the sealed one.
+	if err := os.WriteFile(filepath.Join(dir, segmentName(2)), fuzzBystander(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sealed := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(sealed, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Open(dir, Options{Shards: 4}); err == nil {
+		t.Fatal("Open migrated a corrupt legacy chain")
+	}
+	// No partial conversion: still no manifest, so the untouched legacy
+	// layout (or its repairable tail) is what the operator gets to fix.
+	if m, _ := readManifest(dir); m != nil {
+		t.Errorf("manifest written despite failed migration: %+v", m)
+	}
+}

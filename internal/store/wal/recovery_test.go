@@ -2,8 +2,10 @@ package wal_test
 
 import (
 	"errors"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -52,21 +54,31 @@ func drive(t *testing.T, s *wal.Store, id string, runErr error) run.Run {
 	return r
 }
 
-// listWALFiles returns the data dir's segment and snapshot file names.
+// listWALFiles returns the data dir's segment and snapshot files as paths
+// relative to dir (walking the shard directories), sorted.
 func listWALFiles(t *testing.T, dir string) (segs, snaps []string) {
 	t.Helper()
-	entries, err := os.ReadDir(dir)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, rerr := filepath.Rel(dir, path)
+		if rerr != nil {
+			return rerr
+		}
+		switch {
+		case strings.HasPrefix(d.Name(), "wal-"):
+			segs = append(segs, rel)
+		case strings.HasPrefix(d.Name(), "snapshot-"):
+			snaps = append(snaps, rel)
+		}
+		return nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, e := range entries {
-		switch {
-		case strings.HasPrefix(e.Name(), "wal-"):
-			segs = append(segs, e.Name())
-		case strings.HasPrefix(e.Name(), "snapshot-"):
-			snaps = append(snaps, e.Name())
-		}
-	}
+	sort.Strings(segs)
+	sort.Strings(snaps)
 	return segs, snaps
 }
 
@@ -233,10 +245,11 @@ func TestEvictionAndDeletePersist(t *testing.T) {
 }
 
 // TestSegmentRotation forces tiny segments and checks the log splits while
-// replay still sees one coherent history.
+// replay still sees one coherent history. Shards: 1 so every record hits
+// the same segment chain and the rotation count is deterministic.
 func TestSegmentRotation(t *testing.T) {
 	dir := t.TempDir()
-	s, _ := mustOpen(t, dir, wal.Options{SegmentMaxBytes: 512, CompactThreshold: -1})
+	s, _ := mustOpen(t, dir, wal.Options{SegmentMaxBytes: 512, CompactThreshold: -1, Shards: 1})
 	for i := 0; i < 20; i++ {
 		r := mustCreate(t, s, pipelineSpec())
 		drive(t, s, r.ID, nil)
@@ -262,12 +275,15 @@ func TestSegmentRotation(t *testing.T) {
 // replays identically.
 func TestCompaction(t *testing.T) {
 	dir := t.TempDir()
-	s, _ := mustOpen(t, dir, wal.Options{CompactThreshold: 10, SegmentMaxBytes: 256})
+	s, _ := mustOpen(t, dir, wal.Options{CompactThreshold: 10, SegmentMaxBytes: 256, Shards: 1})
 	var last run.Run
 	for i := 0; i < 15; i++ {
 		r := mustCreate(t, s, pipelineSpec())
 		last = drive(t, s, r.ID, nil)
 	}
+	// Compaction runs in the background; Close waits for any in flight, so
+	// the on-disk layout is only inspected after it.
+	s.Close()
 	segs, snaps := listWALFiles(t, dir)
 	if len(snaps) == 0 {
 		t.Fatalf("no snapshot written after %d records (files: %v)", 45, segs)
@@ -281,7 +297,6 @@ func TestCompaction(t *testing.T) {
 			t.Errorf("segment %s predates snapshot %s but was not removed", seg, snaps[len(snaps)-1])
 		}
 	}
-	s.Close()
 
 	s2, recovered := mustOpen(t, dir, wal.Options{CompactThreshold: 10})
 	defer s2.Close()
@@ -301,7 +316,7 @@ func TestCompaction(t *testing.T) {
 // active segment is truncated away and every complete record survives.
 func TestTornTail(t *testing.T) {
 	dir := t.TempDir()
-	s, _ := mustOpen(t, dir, wal.Options{})
+	s, _ := mustOpen(t, dir, wal.Options{Shards: 1})
 	a := mustCreate(t, s, pipelineSpec())
 	drive(t, s, a.ID, nil)
 	b := mustCreate(t, s, pipelineSpec())
@@ -339,7 +354,7 @@ func TestTornTail(t *testing.T) {
 // refuse rather than load a partial history.
 func TestCorruptSealedSegmentRejected(t *testing.T) {
 	dir := t.TempDir()
-	s, _ := mustOpen(t, dir, wal.Options{})
+	s, _ := mustOpen(t, dir, wal.Options{Shards: 1})
 	r := mustCreate(t, s, pipelineSpec())
 	drive(t, s, r.ID, nil)
 	s.Close()

@@ -31,7 +31,17 @@ func TestRecoveryFailsRevalidationTerminally(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), buf, 0o644); err != nil {
+	// Plant the record in the sharded layout: the manifest pins the count
+	// and the segment goes into the shard that owns the run's ID.
+	const shards = 4
+	if err := writeManifest(dir, shards); err != nil {
+		t.Fatal(err)
+	}
+	sdir := filepath.Join(dir, shardDirName(shardIndex(invalid.ID, shards)))
+	if err := os.MkdirAll(sdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sdir, segmentName(1)), buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
 

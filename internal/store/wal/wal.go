@@ -4,10 +4,26 @@
 // disk before the call returns, so a crashed dagd rebuilds its full run
 // history — and re-admits interrupted work — by replaying the log on boot.
 //
-// # On-disk format
+// # On-disk layout
 //
-// A data directory holds two kinds of files, both sequences of identically
-// framed records:
+// The log is sharded by run-ID hash: a data directory holds a MANIFEST file
+// pinning the shard count, plus one directory per shard:
+//
+//	MANIFEST   {"version":1,"shards":N} — the layout contract
+//	shard-00/  ... shard-<N-1>/
+//
+// Every record for a run lands in shardIndex(id) = fnv32a(id) mod N, so a
+// run's full history lives in exactly one shard and per-shard replay order
+// is a total order for that run. Shards are fully independent — each has
+// its own mutex, active segment, rotation, group-commit batcher, and
+// compaction cycle — so transitions for runs in different shards never
+// contend. Because the routing depends on N, the manifest is load-bearing:
+// opening an existing directory with a different shard count is refused
+// with ErrShardCountMismatch rather than silently splitting run histories.
+// A pre-shard (single-stream) layout is migrated in place on first open.
+//
+// Inside a shard, files follow the original single-stream format — both are
+// sequences of identically framed records:
 //
 //	wal-<seq>.log      active/sealed log segments, one record per transition
 //	snapshot-<seq>.log compacted baseline: one record per surviving run
@@ -23,16 +39,36 @@
 // the last record for an ID wins — and means a reordered or partially
 // missing history still converges to a valid state.
 //
+// # Durability: group-commit fsync
+//
+// With Options.Fsync on, an append does not return until its record is on
+// disk — but the fsync itself is batched per shard: every record that
+// arrives while a sync is in flight joins the next batch and is covered by
+// one fsync (bounded by Options.FsyncMaxDelay), so K concurrent appends
+// cost ~1 fsync instead of K without weakening the contract. A lone append
+// is never delayed. Compaction snapshots are always fsynced before old
+// segments are removed, regardless of the Fsync setting.
+//
+// # Compaction: off the write path
+//
+// When a shard accumulates CompactThreshold records it compacts in a
+// background goroutine: the shard lock is held only long enough to swap in
+// a fresh active segment; encoding and installing the snapshot (and
+// deleting the superseded files) happen off-path, so the write path never
+// stalls behind a snapshot of the store.
+//
 // # Replay and corruption policy
 //
-// Open loads the highest-numbered snapshot, then replays every later
-// segment in sequence order. A truncated or checksum-failing record in the
-// final (active-at-crash) segment is treated as a torn tail: the file is
-// truncated at the last good record and recovery proceeds — a crash
-// mid-append must not brick the store. The same damage in any earlier file
-// means real corruption (those files were sealed complete), and Open
-// refuses to load rather than resurrect a partial history. Records that
-// decode but fail validation (empty ID, unknown op) follow the same policy.
+// Open replays every shard (concurrently): the highest-numbered snapshot,
+// then every later segment in sequence order. A truncated or
+// checksum-failing record in a shard's final (active-at-crash) segment is
+// treated as a torn tail: that file is truncated at the last good record
+// and recovery proceeds — a crash mid-append must not brick the store, and
+// damage in one shard's tail never touches another shard. The same damage
+// in any earlier file means real corruption (those files were sealed
+// complete), and Open refuses to load rather than resurrect a partial
+// history. Records that decode but fail validation (empty ID, unknown op)
+// follow the same policy.
 //
 // # Recovery semantics
 //
@@ -48,17 +84,10 @@ package wal
 
 import (
 	"context"
-	"encoding/binary"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"hash/crc32"
 	"log"
 	"os"
-	"path/filepath"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -67,56 +96,46 @@ import (
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/tenant"
 )
 
-// Record ops. All but opDel carry a full run snapshot.
-const (
-	opCreate    = "create"    // run admitted to the queue
-	opBegin     = "begin"     // queued → running
-	opFinish    = "finish"    // running → succeeded|failed|cancelled
-	opCancel    = "cancel"    // queued → cancelled immediately
-	opCancelReq = "cancelreq" // cancellation acknowledged on a running run
-	opRequeue   = "requeue"   // interrupted → queued on recovery
-	opPut       = "put"       // compaction baseline / recovery-repair snapshot
-	opDel       = "del"       // run removed (eviction or submit rollback)
-)
-
-// record is the JSON payload of one framed WAL entry.
-type record struct {
-	Op  string   `json:"op"`
-	Run *run.Run `json:"run,omitempty"`
-	ID  string   `json:"id,omitempty"`
-}
-
-// frameHeaderSize is the fixed prefix of every record: payload length plus
-// payload CRC32, both big-endian uint32.
-const frameHeaderSize = 8
-
-// maxRecordBytes bounds a single record's payload. The largest legitimate
-// record is a queued explicit spec near run.MaxEdges (~4M edges at ~10 JSON
-// bytes each); anything bigger is treated as corruption rather than an
-// allocation request.
-const maxRecordBytes = 128 << 20
-
 // Options configures a WAL store.
 type Options struct {
-	// Fsync forces an fsync after every appended record, making each
-	// acknowledged transition durable against power loss, not just process
-	// crash. Off by default: the OS page cache survives SIGKILL, and
-	// per-record fsync costs ~milliseconds per transition on most disks.
-	// Compaction snapshots are always fsynced before old segments are
-	// removed, regardless of this setting.
+	// Fsync makes every acknowledged transition durable against power loss,
+	// not just process crash: an append does not return until its record is
+	// fsynced. Off by default — the OS page cache survives SIGKILL. Syncs
+	// are group-committed per shard (see FsyncMaxDelay), so the cost under
+	// concurrent load is ~1 fsync per batch, not per record. Compaction
+	// snapshots are always fsynced before old segments are removed,
+	// regardless of this setting.
 	Fsync bool
-	// CompactThreshold is how many records may be appended (or replayed
-	// from segments on boot) before the store compacts: it writes all
-	// surviving runs — mostly terminal history — into a snapshot file and
-	// deletes the older segments. Zero means 4096; negative disables
-	// compaction.
+	// FsyncMaxDelay bounds how long a group-commit batch may keep
+	// accumulating once more than one append is waiting: a burst coalesces
+	// into one fsync, a lone append is synced immediately. Zero means
+	// DefaultFsyncMaxDelay (2ms); negative disables coalescing (every batch
+	// is synced as soon as the committer gets to it).
+	FsyncMaxDelay time.Duration
+	// Shards is the number of independent log shards. Zero adopts the count
+	// pinned in the data dir's manifest (or DefaultShards for a fresh dir).
+	// Non-zero must match an existing manifest: run IDs are routed to shards
+	// by hash mod Shards, so reopening with a different count is refused
+	// (ErrShardCountMismatch) rather than splitting run histories.
+	Shards int
+	// CompactThreshold is how many records may be appended to one shard (or
+	// replayed from its segments on boot) before that shard compacts in the
+	// background: all its surviving runs — mostly terminal history — are
+	// written into a snapshot file and the older segments deleted. Zero
+	// means 4096; negative disables compaction.
 	CompactThreshold int
-	// SegmentMaxBytes rotates the active segment once it grows past this
-	// size, bounding the largest file replay must buffer. Zero means 8MB.
+	// SegmentMaxBytes rotates a shard's active segment once it grows past
+	// this size, bounding the largest file replay must buffer. Zero means 8MB.
 	SegmentMaxBytes int64
 	// Metrics receives the store's instrumentation (append/fsync volume and
-	// latency, rotations, compactions). Nil disables it.
+	// latency, commit batch sizes, rotations, compactions), all labelled by
+	// shard. Nil disables it.
 	Metrics *metrics.Registry
+
+	// syncEveryRecord restores the pre-group-commit behavior of one inline
+	// fsync per appended record. Test-only: it exists so BenchmarkWALAppend
+	// can measure group commit against the baseline it replaced.
+	syncEveryRecord bool
 }
 
 func (o Options) withDefaults() Options {
@@ -126,60 +145,24 @@ func (o Options) withDefaults() Options {
 	if o.SegmentMaxBytes <= 0 {
 		o.SegmentMaxBytes = 8 << 20
 	}
+	if o.FsyncMaxDelay == 0 {
+		o.FsyncMaxDelay = DefaultFsyncMaxDelay
+	}
 	return o
 }
 
 // Store is the WAL-backed run.Store. The embedded MemStore answers every
-// read; mu serializes mutations so the record order on disk always matches
-// the order transitions were applied in memory (without it, two racing
-// transitions on one run could log in the opposite order and replay to the
-// wrong final state).
+// read; each shard's mutex serializes mutations for the runs it owns, so
+// the record order on disk always matches the order transitions were
+// applied in memory (without it, two racing transitions on one run could
+// log in the opposite order and replay to the wrong final state) — while
+// runs in different shards proceed in parallel.
 type Store struct {
-	dir  string
-	opts Options
-
-	mu       sync.Mutex
-	mem      *run.MemStore
-	seg      *os.File // active segment
-	segBytes int64
-	nextSeq  uint64 // next file sequence number (segments and snapshots share it)
-	appended int    // records since the last compaction (or replayed since boot)
-	closed   bool
-
-	met walInstruments
-}
-
-// walInstruments is the store's metric handles; all nil-safe.
-type walInstruments struct {
-	appends       *metrics.Counter   // dagd_wal_appends_total
-	appendedBytes *metrics.Counter   // dagd_wal_appended_bytes_total
-	fsyncs        *metrics.Counter   // dagd_wal_fsyncs_total
-	fsyncSeconds  *metrics.Histogram // dagd_wal_fsync_seconds
-	rotations     *metrics.Counter   // dagd_wal_segment_rotations_total
-	compactions   *metrics.Counter   // dagd_wal_compactions_total
-	compactSecs   *metrics.Histogram // dagd_wal_compaction_seconds
-	reclaimed     *metrics.Counter   // dagd_wal_compaction_reclaimed_records_total
-}
-
-func newWALInstruments(reg *metrics.Registry) walInstruments {
-	return walInstruments{
-		appends: reg.Counter("dagd_wal_appends_total",
-			"Records appended to the active WAL segment."),
-		appendedBytes: reg.Counter("dagd_wal_appended_bytes_total",
-			"Bytes appended to WAL segments (framed record size)."),
-		fsyncs: reg.Counter("dagd_wal_fsyncs_total",
-			"Per-record fsyncs performed because the store runs with Fsync on."),
-		fsyncSeconds: reg.Histogram("dagd_wal_fsync_seconds",
-			"Latency of per-record fsyncs.", metrics.IOBuckets),
-		rotations: reg.Counter("dagd_wal_segment_rotations_total",
-			"Active-segment rotations (seal + open a fresh segment)."),
-		compactions: reg.Counter("dagd_wal_compactions_total",
-			"Completed compactions (snapshot written, older files removed)."),
-		compactSecs: reg.Histogram("dagd_wal_compaction_seconds",
-			"Wall time of a completed compaction.", metrics.DefBuckets),
-		reclaimed: reg.Counter("dagd_wal_compaction_reclaimed_records_total",
-			"Log records dropped by compaction: records accumulated since the prior compaction minus the snapshot records that replaced them."),
-	}
+	dir    string
+	opts   Options
+	mem    *run.MemStore
+	met    walInstruments
+	shards []*walShard
 }
 
 var _ run.Store = (*Store)(nil)
@@ -193,14 +176,55 @@ func Open(dir string, opts Options) (*Store, []run.Run, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: creating data dir: %w", err)
 	}
-	s := &Store{dir: dir, opts: opts, mem: run.NewMemStore(), met: newWALInstruments(opts.Metrics)}
-
-	replayed, maxSeq, err := s.load()
+	n, err := resolveShards(dir, opts.Shards)
 	if err != nil {
 		return nil, nil, err
 	}
-	s.nextSeq = maxSeq + 1
-	s.appended = len(replayed.runs)
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		mem:  run.NewMemStore(),
+		met:  newWALInstruments(opts.Metrics),
+	}
+	s.shards = make([]*walShard, n)
+	for i := range s.shards {
+		if s.shards[i], err = newShard(s, i); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Replay all shards concurrently; runs never straddle shards, so the
+	// per-shard states merge by plain union.
+	type shardLoad struct {
+		state  *replayState
+		maxSeq uint64
+		err    error
+	}
+	loads := make([]shardLoad, n)
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, maxSeq, err := loadChain(s.shards[i].dir)
+			loads[i] = shardLoad{st, maxSeq, err}
+		}(i)
+	}
+	wg.Wait()
+	replayed := newReplayState()
+	for i, ld := range loads {
+		if ld.err != nil {
+			return nil, nil, fmt.Errorf("wal: replaying %s: %w", shardDirName(i), ld.err)
+		}
+		s.shards[i].nextSeq = ld.maxSeq + 1
+		s.shards[i].appended = len(ld.state.runs)
+		for id, r := range ld.state.runs {
+			replayed.runs[id] = r
+		}
+		for id := range ld.state.cancelRequested {
+			replayed.cancelRequested[id] = true
+		}
+	}
 
 	// Restore terminal history first, then convert interrupted runs.
 	// repaired collects runs that recovery itself drives to a terminal
@@ -259,388 +283,81 @@ func Open(dir string, opts Options) (*Store, []run.Run, error) {
 	}
 	sort.Slice(recovered, func(i, j int) bool { return run.CompareRuns(recovered[i], recovered[j]) < 0 })
 
-	if err := s.openSegment(); err != nil {
-		return nil, nil, err
+	for _, sh := range s.shards {
+		if err := sh.openSegmentLocked(); err != nil {
+			for _, sh2 := range s.shards {
+				if sh2.seg != nil {
+					sh2.seg.Close()
+				}
+			}
+			return nil, nil, err
+		}
 	}
+	// Committers start only after every shard has an active segment; sh.gc
+	// is assigned together with its goroutine so close never waits on a
+	// committer that was never started.
+	if opts.Fsync && !opts.syncEveryRecord {
+		for _, sh := range s.shards {
+			sh.gc = newGroupCommit(opts.FsyncMaxDelay)
+			go sh.gc.run(sh)
+		}
+	}
+
 	// Log the recovery transitions themselves, so a second crash before the
 	// next compaction still replays to the re-admitted (or repaired) state.
+	logRecovery := func(rec record) error {
+		sh := s.shardFor(rec.Run.ID)
+		sh.mu.Lock()
+		ticket, err := sh.appendLocked(rec)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		return sh.waitDurable(ticket)
+	}
 	for _, r := range recovered {
 		r := r
-		if err := s.append(record{Op: opRequeue, Run: &r}); err != nil {
-			s.seg.Close()
+		if err := logRecovery(record{Op: opRequeue, Run: &r}); err != nil {
+			s.Close()
 			return nil, nil, err
 		}
 	}
 	for _, r := range repaired {
 		r := r
-		if err := s.append(record{Op: opPut, Run: &r}); err != nil {
-			s.seg.Close()
+		if err := logRecovery(record{Op: opPut, Run: &r}); err != nil {
+			s.Close()
 			return nil, nil, err
 		}
 	}
 	return s, recovered, nil
 }
 
-// replayState is the fold over a log chain: the latest snapshot per
-// surviving run, plus which non-terminal runs had a cancellation
-// acknowledged (an opCancelReq with no terminal record after it).
-type replayState struct {
-	runs            map[string]run.Run
-	cancelRequested map[string]bool
+// shardFor routes a run ID to its owning shard.
+func (s *Store) shardFor(id string) *walShard {
+	return s.shards[shardIndex(id, len(s.shards))]
 }
 
-// load replays the snapshot + segment chain and returns the surviving
-// replay state and the highest file sequence number seen.
-func (s *Store) load() (*replayState, uint64, error) {
-	snaps, segs, err := scanDir(s.dir)
-	if err != nil {
-		return nil, 0, err
-	}
-	state := &replayState{
-		runs:            make(map[string]run.Run),
-		cancelRequested: make(map[string]bool),
-	}
-	var maxSeq uint64
-
-	// Baseline: the highest-numbered snapshot. Older snapshots are only
-	// leftovers from an interrupted cleanup; ignore them.
-	var snapSeq uint64
-	if len(snaps) > 0 {
-		snapSeq = snaps[len(snaps)-1]
-		maxSeq = snapSeq
-		path := filepath.Join(s.dir, snapshotName(snapSeq))
-		// A snapshot is written to a temp file, fsynced, and renamed into
-		// place, so it is either absent or complete: any damage is real
-		// corruption, never a torn tail.
-		if err := replayFile(path, false, state); err != nil {
-			return nil, 0, err
-		}
-	}
-
-	for i, seq := range segs {
-		if seq > maxSeq {
-			maxSeq = seq
-		}
-		if seq <= snapSeq {
-			// Sealed before the snapshot was taken; its records are already
-			// baked in. (Normally deleted by compaction — tolerate leftovers
-			// from a crash between snapshot rename and segment removal.)
-			continue
-		}
-		final := i == len(segs)-1
-		if err := replayFile(filepath.Join(s.dir, segmentName(seq)), final, state); err != nil {
-			return nil, 0, err
-		}
-	}
-	return state, maxSeq, nil
-}
-
-// replayFile applies every record in path to state. final selects the
-// torn-tail policy: in the final segment a truncated, checksum-failing, or
-// undecodable record (and everything after it) is discarded by truncating
-// the file; in any earlier file the same damage is corruption and an error.
-func replayFile(path string, final bool, state *replayState) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("wal: reading %s: %w", filepath.Base(path), err)
-	}
-	off := 0
-	for {
-		n, rec, err := decodeFrame(data[off:])
-		if err == errEndOfLog {
-			return nil
-		}
-		if err != nil {
-			if !final {
-				return fmt.Errorf("wal: %s is corrupt at offset %d: %w (refusing to load a damaged sealed file)",
-					filepath.Base(path), off, err)
-			}
-			log.Printf("wal: truncating torn tail of %s at offset %d: %v", filepath.Base(path), off, err)
-			if terr := os.Truncate(path, int64(off)); terr != nil {
-				return fmt.Errorf("wal: truncating torn tail of %s: %w", filepath.Base(path), terr)
-			}
-			return nil
-		}
-		applyRecord(rec, state)
-		off += n
-	}
-}
-
-// applyRecord folds one decoded record into the replay state. Snapshots
-// are last-writer-wins; the cancel-requested flag survives later
-// non-terminal records for the run (a begin cannot follow a cancel
-// request, but a requeue from an older recovery could only exist if the
-// flag was absent) and becomes irrelevant once a terminal record lands.
-func applyRecord(rec record, state *replayState) {
-	switch rec.Op {
-	case opDel:
-		delete(state.runs, rec.ID)
-		delete(state.cancelRequested, rec.ID)
-	case opCancelReq:
-		state.runs[rec.Run.ID] = *rec.Run
-		state.cancelRequested[rec.Run.ID] = true
-	default:
-		state.runs[rec.Run.ID] = *rec.Run
-	}
-}
-
-// errEndOfLog marks a clean end of a record stream (zero bytes remaining).
-var errEndOfLog = errors.New("wal: end of log")
-
-// decodeFrame decodes one framed record from the front of b, returning the
-// total bytes consumed. Any defect — short header, truncated payload,
-// oversized or zero length, CRC mismatch, malformed JSON, or a record that
-// fails validation — is an error; callers choose between torn-tail
-// truncation and refusal.
-func decodeFrame(b []byte) (int, record, error) {
-	if len(b) == 0 {
-		return 0, record{}, errEndOfLog
-	}
-	if len(b) < frameHeaderSize {
-		return 0, record{}, fmt.Errorf("short frame header (%d bytes)", len(b))
-	}
-	n := binary.BigEndian.Uint32(b[0:4])
-	if n == 0 || n > maxRecordBytes {
-		return 0, record{}, fmt.Errorf("implausible record length %d", n)
-	}
-	if uint32(len(b)-frameHeaderSize) < n {
-		return 0, record{}, fmt.Errorf("truncated record: header claims %d bytes, %d remain", n, len(b)-frameHeaderSize)
-	}
-	payload := b[frameHeaderSize : frameHeaderSize+int(n)]
-	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(b[4:8]); got != want {
-		return 0, record{}, fmt.Errorf("checksum mismatch (got %08x, want %08x)", got, want)
-	}
-	var rec record
-	if err := json.Unmarshal(payload, &rec); err != nil {
-		return 0, record{}, fmt.Errorf("undecodable record: %v", err)
-	}
-	if err := validateRecord(rec); err != nil {
-		return 0, record{}, err
-	}
-	return frameHeaderSize + int(n), rec, nil
-}
-
-// validateRecord rejects structurally invalid records so replay never
-// inserts a run it could not have written: every op must be known, del
-// needs an ID, everything else needs a snapshot with a non-empty ID.
-// (State names are enforced by JSON decoding already — run.State
-// unmarshals from its text form and rejects unknown names.)
-func validateRecord(rec record) error {
-	switch rec.Op {
-	case opDel:
-		if rec.ID == "" {
-			return errors.New("del record without id")
-		}
-	case opCreate, opBegin, opFinish, opCancel, opCancelReq, opRequeue, opPut:
-		if rec.Run == nil || rec.Run.ID == "" {
-			return fmt.Errorf("%s record without run snapshot", rec.Op)
-		}
-	default:
-		return fmt.Errorf("unknown record op %q", rec.Op)
-	}
-	return nil
-}
-
-// encodeFrame appends the framed encoding of rec to buf.
-func encodeFrame(buf []byte, rec record) ([]byte, error) {
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return buf, fmt.Errorf("wal: encoding record: %w", err)
-	}
-	if len(payload) > maxRecordBytes {
-		return buf, fmt.Errorf("wal: record payload %d bytes exceeds cap %d", len(payload), maxRecordBytes)
-	}
-	var hdr [frameHeaderSize]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	return append(append(buf, hdr[:]...), payload...), nil
-}
-
-func segmentName(seq uint64) string  { return fmt.Sprintf("wal-%016d.log", seq) }
-func snapshotName(seq uint64) string { return fmt.Sprintf("snapshot-%016d.log", seq) }
-
-// scanDir lists snapshot and segment sequence numbers in dir, each sorted
-// ascending.
-func scanDir(dir string) (snaps, segs []uint64, err error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, nil, fmt.Errorf("wal: scanning data dir: %w", err)
-	}
-	parse := func(name, prefix string) (uint64, bool) {
-		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".log") {
-			return 0, false
-		}
-		mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".log")
-		seq, err := strconv.ParseUint(mid, 10, 64)
-		if err != nil {
-			return 0, false
-		}
-		return seq, true
-	}
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		if seq, ok := parse(e.Name(), "snapshot-"); ok {
-			snaps = append(snaps, seq)
-		} else if seq, ok := parse(e.Name(), "wal-"); ok {
-			segs = append(segs, seq)
-		}
-	}
-	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
-	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
-	return snaps, segs, nil
-}
-
-// openSegment starts a fresh active segment. Callers hold mu (or are still
-// single-threaded in Open).
-func (s *Store) openSegment() error {
-	seq := s.nextSeq
-	s.nextSeq++
-	f, err := os.OpenFile(filepath.Join(s.dir, segmentName(seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-	if err != nil {
-		return fmt.Errorf("wal: opening segment: %w", err)
-	}
-	s.seg = f
-	s.segBytes = 0
-	return nil
-}
-
-// append writes one record to the active segment, rotating and compacting
-// as thresholds demand. Callers hold mu.
-func (s *Store) append(rec record) error {
-	if s.closed {
-		return errors.New("wal: store is closed")
-	}
-	buf, err := encodeFrame(nil, rec)
-	if err != nil {
-		return err
-	}
-	if _, err := s.seg.Write(buf); err != nil {
-		return fmt.Errorf("wal: appending record: %w", err)
-	}
-	if s.opts.Fsync {
-		t0 := time.Now()
-		if err := s.seg.Sync(); err != nil {
-			return fmt.Errorf("wal: fsync: %w", err)
-		}
-		s.met.fsyncs.Inc()
-		s.met.fsyncSeconds.Observe(time.Since(t0).Seconds())
-	}
-	s.segBytes += int64(len(buf))
-	s.appended++
-	s.met.appends.Inc()
-	s.met.appendedBytes.Add(float64(len(buf)))
-	if s.opts.CompactThreshold > 0 && s.appended >= s.opts.CompactThreshold {
-		if err := s.compact(); err != nil {
-			// Compaction failure is not data loss — the log is intact, just
-			// longer than we'd like. Log and carry on.
-			log.Printf("wal: compaction failed (log keeps growing until it succeeds): %v", err)
-		}
-		return nil
-	}
-	if s.segBytes >= s.opts.SegmentMaxBytes {
-		if err := s.rotate(); err != nil {
-			log.Printf("wal: segment rotation failed (segment keeps growing until it succeeds): %v", err)
-		}
-	}
-	return nil
-}
-
-// rotate seals the active segment and starts a new one. Callers hold mu.
-func (s *Store) rotate() error {
-	if err := s.seg.Sync(); err != nil {
-		return fmt.Errorf("wal: syncing sealed segment: %w", err)
-	}
-	if err := s.seg.Close(); err != nil {
-		return fmt.Errorf("wal: closing sealed segment: %w", err)
-	}
-	s.met.rotations.Inc()
-	return s.openSegment()
-}
-
-// compact writes the entire surviving state — terminal history plus any
-// live runs — into a snapshot file and removes every older segment and
-// snapshot. The snapshot is staged in a temp file, fsynced, then renamed,
-// so a crash at any point leaves either the old chain or the new snapshot
-// fully intact. Callers hold mu.
-func (s *Store) compact() error {
-	t0 := time.Now()
-	snapSeq := s.nextSeq
-	s.nextSeq++
-
-	runs := s.mem.List()
-	var buf []byte
-	for i := range runs {
-		var err error
-		if buf, err = encodeFrame(buf, record{Op: opPut, Run: &runs[i]}); err != nil {
-			return err
-		}
-	}
-	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
-	if err != nil {
-		return fmt.Errorf("wal: staging snapshot: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("wal: writing snapshot: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("wal: syncing snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("wal: closing snapshot: %w", err)
-	}
-	if err := os.Rename(tmpName, filepath.Join(s.dir, snapshotName(snapSeq))); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("wal: installing snapshot: %w", err)
-	}
-
-	// The snapshot is durable; everything older is redundant. Removal
-	// failures are tolerable (replay skips files at or below the snapshot's
-	// sequence) — try again next compaction.
-	snaps, segs, err := scanDir(s.dir)
-	if err == nil {
-		for _, seq := range snaps {
-			if seq < snapSeq {
-				os.Remove(filepath.Join(s.dir, snapshotName(seq)))
-			}
-		}
-		for _, seq := range segs {
-			if seq < snapSeq {
-				os.Remove(filepath.Join(s.dir, segmentName(seq)))
-			}
-		}
-	}
-
-	// The old active segment's sequence number is below snapSeq, so it was
-	// just removed out from under its handle; swap in a fresh one.
-	s.seg.Close()
-	if dropped := s.appended - len(runs); dropped > 0 {
-		s.met.reclaimed.Add(float64(dropped))
-	}
-	s.appended = 0
-	s.met.compactions.Inc()
-	s.met.compactSecs.Observe(time.Since(t0).Seconds())
-	return s.openSegment()
-}
+// Shards returns the store's shard count (pinned by the data dir manifest).
+func (s *Store) Shards() int { return len(s.shards) }
 
 // Create registers a queued run, logging it before the ID escapes. If the
-// log write fails the in-memory entry is rolled back, so a run the WAL
-// never heard of can never be observed.
+// log write or its sync fails the in-memory entry is rolled back, so a run
+// the WAL never heard of can never be observed.
 func (s *Store) Create(spec run.Spec) (run.Run, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	r, err := s.mem.Create(spec)
 	if err != nil {
 		return run.Run{}, err
 	}
-	if err := s.append(record{Op: opCreate, Run: &r}); err != nil {
+	// The ID is fresh and unpublished, so nothing can race this run's log
+	// order; the shard lock is needed only for the append itself.
+	sh := s.shardFor(r.ID)
+	sh.mu.Lock()
+	ticket, err := sh.appendLocked(record{Op: opCreate, Run: &r})
+	sh.mu.Unlock()
+	if err == nil {
+		err = sh.waitDurable(ticket)
+	}
+	if err != nil {
 		s.mem.Delete(r.ID)
 		return run.Run{}, err
 	}
@@ -648,28 +365,43 @@ func (s *Store) Create(spec run.Spec) (run.Run, error) {
 }
 
 // Begin transitions queued → running (see run.Store). The transition is
-// applied in memory first and then logged; a log failure is returned but
-// the in-memory transition stands — memory is the source of truth while
-// the process lives, and the next compaction re-syncs the log.
+// applied in memory and logged under the run's shard lock — so the record
+// order on disk matches memory order — then awaited durable outside it; a
+// log failure is returned but the in-memory transition stands — memory is
+// the source of truth while the process lives, and the next compaction
+// re-syncs the log.
 func (s *Store) Begin(id string, dispatchedAt time.Time, cancel context.CancelFunc) (run.Run, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
 	r, err := s.mem.Begin(id, dispatchedAt, cancel)
+	if err != nil {
+		sh.mu.Unlock()
+		return r, err
+	}
+	ticket, err := sh.appendLocked(record{Op: opBegin, Run: &r})
+	sh.mu.Unlock()
 	if err != nil {
 		return r, err
 	}
-	return r, s.append(record{Op: opBegin, Run: &r})
+	return r, sh.waitDurable(ticket)
 }
 
 // Finish transitions running → terminal (see run.Store).
 func (s *Store) Finish(id string, result *run.Result, runErr error) (run.Run, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
 	r, err := s.mem.Finish(id, result, runErr)
+	if err != nil {
+		sh.mu.Unlock()
+		return r, err
+	}
+	delete(sh.cancelReq, id)
+	ticket, err := sh.appendLocked(record{Op: opFinish, Run: &r})
+	sh.mu.Unlock()
 	if err != nil {
 		return r, err
 	}
-	return r, s.append(record{Op: opFinish, Run: &r})
+	return r, sh.waitDurable(ticket)
 }
 
 // Cancel requests cancellation (see run.Store). A queued → cancelled
@@ -679,46 +411,87 @@ func (s *Store) Finish(id string, result *run.Result, runErr error) (run.Run, er
 // cancellation instead of resurrecting and re-executing an acknowledged-
 // cancelled run.
 func (s *Store) Cancel(id string) (run.Run, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
 	r, err := s.mem.Cancel(id)
+	if err != nil {
+		sh.mu.Unlock()
+		return r, err
+	}
+	var rec record
+	switch {
+	case r.State == run.StateCancelled && r.StartedAt == nil:
+		rec = record{Op: opCancel, Run: &r}
+	case r.State == run.StateRunning:
+		rec = record{Op: opCancelReq, Run: &r}
+		sh.cancelReq[id] = true
+	default:
+		sh.mu.Unlock()
+		return r, nil
+	}
+	ticket, err := sh.appendLocked(rec)
+	sh.mu.Unlock()
 	if err != nil {
 		return r, err
 	}
-	if r.State == run.StateCancelled && r.StartedAt == nil {
-		return r, s.append(record{Op: opCancel, Run: &r})
-	}
-	if r.State == run.StateRunning {
-		return r, s.append(record{Op: opCancelReq, Run: &r})
-	}
-	return r, nil
+	return r, sh.waitDurable(ticket)
 }
 
 // Delete removes a run entirely (see run.Store).
 func (s *Store) Delete(id string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
 	if _, err := s.mem.Get(id); err != nil {
+		sh.mu.Unlock()
 		return nil // nothing tracked, nothing to log
 	}
 	if err := s.mem.Delete(id); err != nil {
+		sh.mu.Unlock()
 		return err
 	}
-	return s.append(record{Op: opDel, ID: id})
+	delete(sh.cancelReq, id)
+	ticket, err := sh.appendLocked(record{Op: opDel, ID: id})
+	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return sh.waitDurable(ticket)
 }
 
 // EvictTerminal evicts oldest-finished terminal runs past keep, logging a
-// deletion per victim so replay converges to the same bounded history.
+// deletion per victim so replay converges to the same bounded history. The
+// deletions are appended per shard and awaited once per shard (group commit
+// covers a whole batch with one fsync).
 func (s *Store) EvictTerminal(keep int) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	ids := s.mem.EvictTerminalIDs(keep)
+	if len(ids) == 0 {
+		return 0
+	}
+	perShard := make(map[*walShard][]string)
 	for _, id := range ids {
-		if err := s.append(record{Op: opDel, ID: id}); err != nil {
-			// The run is gone from memory but not the log: after a crash it
-			// would be resurrected until the next successful eviction or
-			// compaction trims it again. Harmless beyond disk space.
-			log.Printf("wal: logging eviction of %s: %v", id, err)
+		sh := s.shardFor(id)
+		perShard[sh] = append(perShard[sh], id)
+	}
+	for sh, victims := range perShard {
+		var last uint64
+		sh.mu.Lock()
+		for _, id := range victims {
+			delete(sh.cancelReq, id)
+			ticket, err := sh.appendLocked(record{Op: opDel, ID: id})
+			if err != nil {
+				// The run is gone from memory but not the log: after a crash
+				// it would be resurrected until the next successful eviction
+				// or compaction trims it again. Harmless beyond disk space.
+				log.Printf("wal: logging eviction of %s: %v", id, err)
+				continue
+			}
+			if ticket > last {
+				last = ticket
+			}
+		}
+		sh.mu.Unlock()
+		if err := sh.waitDurable(last); err != nil {
+			log.Printf("wal: syncing evictions in %s: %v", shardDirName(sh.index), err)
 		}
 	}
 	return len(ids)
@@ -742,17 +515,15 @@ func (s *Store) Await(ctx context.Context, id string) (run.Run, error) {
 	return s.mem.Await(ctx, id)
 }
 
-// Close seals the active segment. The store must not be used afterwards.
+// Close seals every shard: stops the committers (draining a final batch),
+// waits out in-flight compactions, and syncs + closes the active segments.
+// The store must not be used afterwards.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil
+	var firstErr error
+	for _, sh := range s.shards {
+		if err := sh.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	s.closed = true
-	if err := s.seg.Sync(); err != nil {
-		s.seg.Close()
-		return fmt.Errorf("wal: syncing on close: %w", err)
-	}
-	return s.seg.Close()
+	return firstErr
 }
