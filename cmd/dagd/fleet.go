@@ -1,0 +1,40 @@
+package main
+
+import (
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/core"
+)
+
+// serveFleet runs the internal worker API listener. It is a separate
+// listener from the public v1 API on purpose: workers are infrastructure,
+// not clients — the fleet port can be firewalled to the worker network
+// while the public port faces users, and lease long-polls never occupy
+// the public server's connections. Like the debug listener it has no
+// auth: bind it to localhost or a private interface.
+//
+// The listener is bound synchronously (so a bad address fails dagd at
+// startup, like -addr does) and served in the background. The bound
+// address is logged for scripts that pass ":0".
+func serveFleet(addr string, svc *core.Service) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &http.Server{
+		Handler: svc.FleetHandler(),
+		// Covers request headers only; lease long-polls run under the
+		// handler's own deadline and must not be cut short here.
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("dagd: fleet listener on %s (worker API)", ln.Addr())
+	go func() {
+		if err := s.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("dagd: fleet listener: %v", err)
+		}
+	}()
+	return s, nil
+}

@@ -15,11 +15,18 @@
 //	dagd -data-dir /var/lib/dagd -fsync     # survive power loss too
 //	dagd -workload hashchain
 //	dagd -tenants tenants.json              # multi-tenant fair scheduling
+//	dagd -fleet-addr :8081                  # lease runs to dagworker fleet
 //
 // With -tenants, submissions are attributed to the tenant named by the
 // X-Tenant request header (absent = "default") and scheduled by weighted
 // deficit round-robin with priority classes, per-tenant quotas, and
 // token-bucket rate limits (429 + Retry-After past them).
+//
+// With -fleet-addr, dagd becomes a coordinator: it stops executing runs
+// in-process and instead serves the internal worker API on that address,
+// leasing ready runs to dagworker processes. A lease not heartbeated
+// within -lease-ttl is requeued (restarts++) for a surviving worker.
+// Without -fleet-addr nothing changes — runs execute embedded as before.
 //
 // Submit and poll with curl (or use the typed client in pkg/client):
 //
@@ -69,6 +76,9 @@ func main() {
 		tenantsFile  = flag.String("tenants", "", "JSON tenant config file (weights, priorities, quotas, rate limits); empty = single default tenant")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight runs on shutdown")
 		debugAddr    = flag.String("debug-addr", "", "optional second listener serving net/http/pprof, expvar, and /metrics; keep it private — it exposes profiles and runtime internals")
+		fleetAddr    = flag.String("fleet-addr", "", "listener for the internal worker API; set to lease runs to dagworker processes instead of executing in-process")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "how long a worker lease survives without a heartbeat before its run is requeued (0 = "+core.DefaultLeaseTTL.String()+"; needs -fleet-addr)")
+		heartbeatIvl = flag.Duration("heartbeat-interval", 0, "cadence workers are told to heartbeat at; must stay under half of -lease-ttl (0 = "+core.DefaultHeartbeatInterval.String()+"; needs -fleet-addr)")
 	)
 	flag.Parse()
 
@@ -86,6 +96,30 @@ func main() {
 	if !*fsync && *fsyncDelay != 0 {
 		fmt.Fprintln(os.Stderr, "dagd: -fsync-max-delay requires -fsync")
 		os.Exit(2)
+	}
+	if *fleetAddr == "" && (*leaseTTL != 0 || *heartbeatIvl != 0) {
+		fmt.Fprintln(os.Stderr, "dagd: -lease-ttl and -heartbeat-interval require -fleet-addr")
+		os.Exit(2)
+	}
+	if *leaseTTL < 0 || *heartbeatIvl < 0 {
+		fmt.Fprintln(os.Stderr, "dagd: -lease-ttl and -heartbeat-interval must be positive")
+		os.Exit(2)
+	}
+	if *fleetAddr != "" {
+		// Resolve the zero defaults before checking the ratio, so setting
+		// only one of the pair is still validated against the other's
+		// default (e.g. -lease-ttl 5ms alone is caught here).
+		ttl, hb := *leaseTTL, *heartbeatIvl
+		if ttl == 0 {
+			ttl = core.DefaultLeaseTTL
+		}
+		if hb == 0 {
+			hb = core.DefaultHeartbeatInterval
+		}
+		if hb >= ttl/2 {
+			fmt.Fprintf(os.Stderr, "dagd: -heartbeat-interval %v must be under half of -lease-ttl %v (one dropped heartbeat must not expire a healthy lease)\n", hb, ttl)
+			os.Exit(2)
+		}
 	}
 	var tenants []core.TenantConfig
 	if *tenantsFile != "" {
@@ -108,6 +142,9 @@ func main() {
 		WALShards:         *walShards,
 		CompactThreshold:  *compactEvery,
 		Tenants:           tenants,
+		Remote:            *fleetAddr != "",
+		LeaseTTL:          *leaseTTL,
+		HeartbeatInterval: *heartbeatIvl,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dagd:", err)
@@ -120,6 +157,17 @@ func main() {
 	srv := server.New(svc)
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, srv)
+	}
+	if *fleetAddr != "" {
+		fleetSrv, err := serveFleet(*fleetAddr, svc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagd:", err)
+			os.Exit(1)
+		}
+		// The fleet listener outlives ctx: during the drain that follows
+		// SIGTERM, workers must still heartbeat and report results for the
+		// dispatcher to reach empty. It closes only when serve returns.
+		defer fleetSrv.Close()
 	}
 	err = srv.ListenAndServe(ctx, *addr, *drainTimeout)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -84,9 +84,13 @@ type Report struct {
 	// SubmitToTerminal is measured on the client clock: from just before
 	// POST /v1/runs to the long-poll response that showed a terminal state.
 	SubmitToTerminal LatencySummary `json:"submit_to_terminal"`
-	// QueueWait and Execute are the server-side breakdown from the run's
-	// lifecycle timestamps, over the same completed runs.
+	// QueueWait, LeaseWait, and Execute are the server-side breakdown from
+	// the run's lifecycle timestamps, over the same completed runs.
+	// LeaseWait (dispatched_at → started_at) is the cost of getting a
+	// picked run actually running: the WAL begin record embedded, plus the
+	// lease grant round-trip when the server leases to a dagworker fleet.
 	QueueWait LatencySummary `json:"queue_wait"`
+	LeaseWait LatencySummary `json:"lease_wait"`
 	Execute   LatencySummary `json:"execute"`
 }
 
@@ -95,6 +99,7 @@ type outcome struct {
 	state      api.State
 	latency    time.Duration // submit → terminal observed, client clock
 	queueWait  time.Duration // created_at → dispatched_at, server clock
+	leaseWait  time.Duration // dispatched_at → started_at, server clock
 	execute    time.Duration // started_at → finished_at, server clock
 	rejected   bool          // 429 / queue_full at admission
 	submitErr  bool          // any other submit failure
@@ -273,6 +278,7 @@ func oneRun(c *client.Client, spec api.RunSpec, waitBudget time.Duration) outcom
 	o := outcome{state: r.State, latency: time.Since(t0)}
 	if r.DispatchedAt != nil && r.StartedAt != nil && r.FinishedAt != nil {
 		o.queueWait = r.DispatchedAt.Sub(r.CreatedAt)
+		o.leaseWait = r.StartedAt.Sub(*r.DispatchedAt)
 		o.execute = r.FinishedAt.Sub(*r.StartedAt)
 		o.hasServerT = true
 	}
@@ -281,7 +287,7 @@ func oneRun(c *client.Client, spec api.RunSpec, waitBudget time.Duration) outcom
 
 func buildReport(outcomes []outcome, loadWindow, wall time.Duration) *Report {
 	rep := &Report{Offered: len(outcomes)}
-	var latencies, queueWaits, executes []float64
+	var latencies, queueWaits, leaseWaits, executes []float64
 	for _, o := range outcomes {
 		switch {
 		case o.rejected:
@@ -295,6 +301,7 @@ func buildReport(outcomes []outcome, loadWindow, wall time.Duration) *Report {
 			latencies = append(latencies, o.latency.Seconds()*1e3)
 			if o.hasServerT {
 				queueWaits = append(queueWaits, o.queueWait.Seconds()*1e3)
+				leaseWaits = append(leaseWaits, o.leaseWait.Seconds()*1e3)
 				executes = append(executes, o.execute.Seconds()*1e3)
 			}
 		default:
@@ -309,6 +316,7 @@ func buildReport(outcomes []outcome, loadWindow, wall time.Duration) *Report {
 	}
 	rep.SubmitToTerminal = summarize(latencies)
 	rep.QueueWait = summarize(queueWaits)
+	rep.LeaseWait = summarize(leaseWaits)
 	rep.Execute = summarize(executes)
 	return rep
 }

@@ -1,0 +1,359 @@
+// Distributed-execution e2e: a real dagd coordinator leasing runs to real
+// dagworker processes, with SIGKILLs landing on either side. These cover
+// what the in-process fleet tests cannot — a worker that vanishes without
+// unwinding anything, and a coordinator restart under live workers.
+package e2e
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/pkg/api"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/pkg/client"
+)
+
+// buildDagworker compiles the dagworker binary once per test.
+func buildDagworker(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dagworker")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/dagworker")
+	cmd.Dir = ".."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building dagworker: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// coordProc is a dagd coordinator (fleet mode) plus its two listeners.
+type coordProc struct {
+	cmd       *exec.Cmd
+	base      string // public v1 API
+	fleetBase string // worker API
+	c         *client.Client
+}
+
+// fleetClocks are the tight lease clocks every fleet e2e test runs with:
+// expiry within ~2s of a worker death keeps the tests fast while still
+// spanning several heartbeats.
+var fleetClocks = []string{"-lease-ttl", "2s", "-heartbeat-interval", "400ms"}
+
+// startCoordinator launches dagd with -fleet-addr and waits for both
+// listeners. fleetAddr may be "127.0.0.1:0"; the bound address is scraped
+// from the log either way.
+func startCoordinator(t *testing.T, bin, dataDir, fleetAddr string, extraArgs ...string) *coordProc {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-queue", "64",
+		"-drain-timeout", "10s",
+		"-fleet-addr", fleetAddr,
+	}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting coordinator: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	apic := make(chan string, 1)
+	fleetc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if _, rest, ok := strings.Cut(line, "fleet listener on "); ok {
+				addr, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				select {
+				case fleetc <- addr:
+				default:
+				}
+			} else if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case apic <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	p := &coordProc{cmd: cmd}
+	for p.base == "" || p.fleetBase == "" {
+		select {
+		case addr := <-apic:
+			p.base = "http://" + addr
+		case addr := <-fleetc:
+			p.fleetBase = "http://" + addr
+		case <-time.After(30 * time.Second):
+			t.Fatalf("coordinator never reported its listeners (api %q, fleet %q)", p.base, p.fleetBase)
+		}
+	}
+	p.c = client.New(p.base, client.WithWaitSlice(200*time.Millisecond))
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := p.c.Workloads(context.Background()); err == nil {
+			return p
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator API never became reachable")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (p *coordProc) sigkill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL coordinator: %v", err)
+	}
+	p.cmd.Wait()
+}
+
+// startWorker launches a dagworker pointed at the coordinator's fleet
+// listener. Its stderr is drained and discarded; the coordinator's view is
+// what the tests assert on.
+func startWorker(t *testing.T, bin, fleetBase, name string, capacity int) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-coordinator", fleetBase,
+		"-name", name,
+		"-capacity", fmt.Sprint(capacity),
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go io.Copy(io.Discard, stderr)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting dagworker %s: %v", name, err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+// fleetStats reads the fleet block out of /healthz.
+func fleetStats(t *testing.T, base string) (workers, leases int) {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Stats struct {
+			Fleet *struct {
+				Workers      int `json:"workers"`
+				ActiveLeases int `json:"active_leases"`
+			} `json:"fleet"`
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding /healthz: %v", err)
+	}
+	if body.Stats.Fleet == nil {
+		t.Fatal("/healthz has no fleet stats; coordinator not in remote mode?")
+	}
+	return body.Stats.Fleet.Workers, body.Stats.Fleet.ActiveLeases
+}
+
+// waitWorkers polls /healthz until the coordinator sees want workers.
+func waitWorkers(t *testing.T, base string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if got, _ := fleetStats(t, base); got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			got, _ := fleetStats(t, base)
+			t.Fatalf("coordinator sees %d workers, want %d", got, want)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// freePort reserves an ephemeral port and releases it for the process
+// under test to bind. Racy in principle; fine for a test that needs the
+// same fleet port across a coordinator restart.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestWorkerCrashRedispatch is the fleet acceptance test: two workers, a
+// slow run observed mid-flight on one of them, SIGKILL that worker, and
+// require the coordinator to expire the lease and re-dispatch the run to
+// the survivor — restart counted, tenant attribution intact.
+func TestWorkerCrashRedispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e fleet test builds and kills real processes")
+	}
+	bin := buildDagd(t)
+	wbin := buildDagworker(t)
+	dataDir := t.TempDir()
+	cfgPath := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(cfgPath, []byte(`{"tenants":[{"name":"acme","weight":2}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	p := startCoordinator(t, bin, dataDir, "127.0.0.1:0", append(fleetClocks, "-tenants", cfgPath)...)
+	workers := map[string]*exec.Cmd{
+		"alpha": startWorker(t, wbin, p.fleetBase, "alpha", 1),
+		"beta":  startWorker(t, wbin, p.fleetBase, "beta", 1),
+	}
+	waitWorkers(t, p.base, 2)
+	alpha := client.New(p.base, client.WithTenant("acme"), client.WithWaitSlice(200*time.Millisecond))
+
+	// A fast run proves the lease→execute→complete loop end to end first.
+	warm, err := alpha.SubmitExplicit(ctx, 4, diamond, client.SubmitOptions{Workload: "hashchain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	fin, err := alpha.Wait(wctx, warm.ID)
+	cancel()
+	if err != nil || fin.State != api.StateSucceeded || fin.Result == nil || !fin.Result.Match {
+		t.Fatalf("warmup run = %+v, %v; want succeeded with matching result", fin, err)
+	}
+	if fin.Worker == "" {
+		t.Fatalf("warmup run has no worker attribution: %+v", fin)
+	}
+
+	// The victim: a slow run, observed running, whose holder we kill.
+	slow, err := alpha.Submit(ctx, slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, p.c, slow.ID, api.StateRunning)
+	running, err := p.c.Get(ctx, slow.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker IDs are "<name>-NNNN"; the name picks the process to kill.
+	victimName, _, _ := strings.Cut(running.Worker, "-")
+	victim, ok := workers[victimName]
+	if !ok {
+		t.Fatalf("run %s leased to unrecognized worker %q", slow.ID, running.Worker)
+	}
+	survivorName := "beta"
+	if victimName == "beta" {
+		survivorName = "alpha"
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL worker %s: %v", victimName, err)
+	}
+	victim.Wait()
+
+	// The lease expires within ~2s; the survivor re-executes from scratch.
+	wctx, cancel = context.WithTimeout(ctx, 120*time.Second)
+	fin, err = alpha.Wait(wctx, slow.ID)
+	cancel()
+	if err != nil {
+		t.Fatalf("Wait(redispatched %s): %v", slow.ID, err)
+	}
+	if fin.State != api.StateSucceeded || fin.Result == nil || !fin.Result.Match {
+		t.Fatalf("redispatched run finished as %+v, want succeeded with matching result", fin)
+	}
+	if fin.Restarts < 1 {
+		t.Errorf("redispatched run has Restarts = %d, want >= 1", fin.Restarts)
+	}
+	if !strings.HasPrefix(fin.Worker, survivorName+"-") {
+		t.Errorf("redispatched run attributed to %q, want the survivor %s-*", fin.Worker, survivorName)
+	}
+	if fin.Spec.Tenant != "acme" {
+		t.Errorf("redispatched run lost tenant attribution: %q, want acme", fin.Spec.Tenant)
+	}
+
+	// The dead worker's registration lapses too: only the survivor remains.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if got, _ := fleetStats(t, p.base); got == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			got, _ := fleetStats(t, p.base)
+			t.Fatalf("dead worker never pruned: %d workers registered, want 1", got)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestCoordinatorRestartRecoversLeases kills the coordinator while a run
+// executes remotely, restarts it on the same data dir and fleet port, and
+// requires the leased run to come back as queued work that the (re-
+// registering) worker then completes.
+func TestCoordinatorRestartRecoversLeases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e fleet test builds and kills real processes")
+	}
+	bin := buildDagd(t)
+	wbin := buildDagworker(t)
+	dataDir := t.TempDir()
+	fleetAddr := freePort(t)
+	ctx := context.Background()
+
+	p1 := startCoordinator(t, bin, dataDir, fleetAddr, fleetClocks...)
+	startWorker(t, wbin, p1.fleetBase, "omega", 1)
+	waitWorkers(t, p1.base, 1)
+
+	slow, err := p1.c.Submit(ctx, slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, p1.c, slow.ID, api.StateRunning)
+	p1.sigkill(t)
+
+	// Same data dir, same fleet port: the worker's configured coordinator
+	// URL stays valid, it re-registers after its 404s, and the recovered
+	// run (queued again, restart counted) drains through it.
+	p2 := startCoordinator(t, bin, dataDir, fleetAddr, fleetClocks...)
+	got, err := p2.c.Get(ctx, slow.ID)
+	if err != nil {
+		t.Fatalf("Get(recovered %s): %v", slow.ID, err)
+	}
+	if got.State.Terminal() {
+		t.Fatalf("recovered run already terminal at boot: %+v", got)
+	}
+	if got.Restarts < 1 {
+		t.Errorf("recovered run has Restarts = %d, want >= 1", got.Restarts)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	fin, err := p2.c.Wait(wctx, slow.ID)
+	cancel()
+	if err != nil || fin.State != api.StateSucceeded || fin.Result == nil || !fin.Result.Match {
+		t.Fatalf("recovered run finished as %+v, %v; want succeeded with matching result", fin, err)
+	}
+	if !strings.HasPrefix(fin.Worker, "omega-") {
+		t.Errorf("recovered run attributed to %q, want omega-*", fin.Worker)
+	}
+}

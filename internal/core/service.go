@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"net/http"
 	"time"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dispatch"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/fleet"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/metrics"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/sched"
@@ -30,6 +32,15 @@ type (
 	// quota_exceeded, queue full) with the tenant hit and a Retry-After
 	// hint for the API layer.
 	RetryableError = dispatch.RetryableError
+	// FleetStats is the distributed-execution snapshot (worker count,
+	// active leases) embedded in ServiceStats when remote mode is on.
+	FleetStats = fleet.Stats
+)
+
+// Fleet lease-clock defaults, re-exported for dagd's flag help.
+const (
+	DefaultLeaseTTL          = fleet.DefaultLeaseTTL
+	DefaultHeartbeatInterval = fleet.DefaultHeartbeatInterval
 )
 
 // DefaultTenant is the catch-all tenant name submissions with no (or an
@@ -133,6 +144,19 @@ type ServiceOptions struct {
 	// states) instruments into. Nil means NewService creates its own, so
 	// Service.Metrics — and GET /metrics — always has a live registry.
 	Metrics *metrics.Registry
+	// Remote switches the dispatcher to lease mode: instead of executing
+	// runs in-process, ready runs are leased to external dagworker
+	// processes over the fleet worker API (served by FleetHandler). With
+	// Remote false the service executes embedded, exactly as before.
+	Remote bool
+	// LeaseTTL is how long a worker lease survives without a heartbeat
+	// before its run is requeued for re-dispatch (0 = DefaultLeaseTTL).
+	// Only meaningful with Remote.
+	LeaseTTL time.Duration
+	// HeartbeatInterval is the cadence workers are told to heartbeat at;
+	// must stay under LeaseTTL/2 (0 = DefaultHeartbeatInterval). Only
+	// meaningful with Remote.
+	HeartbeatInterval time.Duration
 }
 
 // ServiceStats is a snapshot of service load for health reporting.
@@ -148,6 +172,9 @@ type ServiceStats struct {
 	// Tenants is each tenant's scheduling snapshot: queue length, in-flight
 	// count, and admission counters, keyed by tenant name.
 	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+	// Fleet is the distributed-execution snapshot: registered workers and
+	// active leases. Present only when the service runs in remote mode.
+	Fleet *FleetStats `json:"fleet,omitempty"`
 }
 
 // Service is the long-running run-execution facade: a run store (in-memory,
@@ -157,6 +184,7 @@ type ServiceStats struct {
 type Service struct {
 	store           run.Store
 	disp            *dispatch.Dispatcher
+	fleet           *fleet.Manager // nil when executing embedded
 	metrics         *metrics.Registry
 	defaultWorkload string
 	recovered       int
@@ -203,6 +231,7 @@ func NewService(opts ServiceOptions) (*Service, error) {
 		RetainRuns:        opts.RetainRuns,
 		Tenants:           registry,
 		Metrics:           opts.Metrics,
+		Remote:            opts.Remote,
 	})
 	if len(recovered) > 0 {
 		disp.Recover(recovered)
@@ -213,6 +242,13 @@ func NewService(opts ServiceOptions) (*Service, error) {
 		metrics:         opts.Metrics,
 		defaultWorkload: opts.DefaultWorkload,
 		recovered:       len(recovered),
+	}
+	if opts.Remote {
+		svc.fleet = fleet.NewManager(disp, fleet.Options{
+			LeaseTTL:          opts.LeaseTTL,
+			HeartbeatInterval: opts.HeartbeatInterval,
+			Metrics:           opts.Metrics,
+		})
 	}
 
 	// Service-level series: scheduler process-lifetime tallies as
@@ -250,6 +286,17 @@ func (s *Service) DefaultWorkloadName() string { return s.defaultWorkload }
 // boot (always 0 for the in-memory store).
 func (s *Service) Recovered() int { return s.recovered }
 
+// FleetHandler returns the internal worker API (register/lease/heartbeat/
+// complete under /fleet/v1/) when the service runs in remote mode, nil when
+// it executes embedded. dagd serves it on its own listener, never the
+// public one.
+func (s *Service) FleetHandler() http.Handler {
+	if s.fleet == nil {
+		return nil
+	}
+	return s.fleet.Handler()
+}
+
 // Submit validates and enqueues a run, returning its queued snapshot.
 func (s *Service) Submit(spec RunSpec) (RunInfo, error) { return s.disp.Submit(spec) }
 
@@ -286,7 +333,7 @@ func (s *Service) Stats() ServiceStats {
 		total += n
 	}
 	snap := s.disp.Snapshot()
-	return ServiceStats{
+	stats := ServiceStats{
 		Runs:        total,
 		ByState:     byState,
 		QueueLen:    snap.QueueLen,
@@ -295,6 +342,11 @@ func (s *Service) Stats() ServiceStats {
 		Recovered:   s.recovered,
 		Tenants:     snap.Tenants,
 	}
+	if s.fleet != nil {
+		fs := s.fleet.Stats()
+		stats.Fleet = &fs
+	}
+	return stats
 }
 
 // Shutdown stops accepting runs, drains the dispatcher pool (force-
@@ -303,6 +355,13 @@ func (s *Service) Stats() ServiceStats {
 // both fail.
 func (s *Service) Shutdown(ctx context.Context) error {
 	err := s.disp.Shutdown(ctx)
+	// The fleet sweeper stays alive through the drain: if a worker dies
+	// mid-drain its leases must still expire and requeue so a survivor can
+	// finish them. Only once the dispatcher has drained (or given up) is
+	// the sweeper stopped.
+	if s.fleet != nil {
+		s.fleet.Close()
+	}
 	if cerr := s.store.Close(); err == nil {
 		err = cerr
 	}

@@ -55,6 +55,10 @@ var (
 	ErrRateLimited = errors.New("dispatch: tenant submit rate exceeded")
 	// ErrShuttingDown is returned by Submit after Shutdown has begun.
 	ErrShuttingDown = errors.New("dispatch: shutting down")
+	// ErrNotLeased is returned by CompleteLease and ExpireLease when the
+	// run has no outstanding lease — typically the loser of a completion
+	// vs. expiry race, whose report must be discarded.
+	ErrNotLeased = errors.New("dispatch: run not leased")
 )
 
 // RetryableError wraps a backpressure rejection (ErrRateLimited,
@@ -103,6 +107,13 @@ type Options struct {
 	// wait times, run outcomes). Nil disables it — every instrument in
 	// internal/metrics is a no-op on nil.
 	Metrics *metrics.Registry
+	// Remote switches the dispatcher from embedded execution to lease
+	// mode: no dispatcher goroutines are started, and ready runs are
+	// handed out through Lease / CompleteLease / ExpireLease (driven by
+	// internal/fleet) instead of being executed in-process. Admission,
+	// tenant fair queuing, and the store contract are identical in both
+	// modes.
+	Remote bool
 }
 
 func (o Options) withDefaults() Options {
@@ -125,11 +136,22 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// queued is one pending queue entry: the run's ID and when it entered the
-// queue, so pops can observe queue-wait and scrapes the oldest entry's age.
+// queued is one pending queue entry: the run's ID, when it entered the
+// queue (so pops can observe queue-wait and scrapes the oldest entry's
+// age), and its workload name so lease mode can match entries against a
+// worker's supported set without a store read per candidate.
 type queued struct {
-	id string
-	at time.Time
+	id       string
+	at       time.Time
+	workload string
+}
+
+// leaseEntry tracks one run handed to a remote worker: which tenant queue
+// owns its in-flight slot and the workload to re-stamp on the queue entry
+// if the lease expires. Guarded by the Dispatcher's mu.
+type leaseEntry struct {
+	tq       *tenantQueue
+	workload string
 }
 
 // tenantQueue is one tenant's scheduling state. All fields are guarded by
@@ -172,16 +194,23 @@ type priorityClass struct {
 	cursor   int
 }
 
-// pick dequeues the next run ID this class should dispatch, or reports
-// false when no tenant in the class has an eligible queued run. It
-// implements unit-cost deficit round-robin: when the cursor reaches a
-// backlogged tenant with no credit left, the tenant is granted `weight`
-// credits and serves them one pick at a time before the cursor moves on —
-// so over a full rotation each backlogged tenant drains runs in proportion
-// to its weight. An empty queue forfeits its remaining credit (classic DRR:
-// idle tenants must not bank bursts); a tenant at its in-flight cap is
-// skipped with its credit intact and resumes when capacity frees up.
-func (cl *priorityClass) pick() (*tenantQueue, queued, bool) {
+// pick dequeues the next run this class should dispatch, or reports false
+// when no tenant in the class has an eligible queued run. It implements
+// unit-cost deficit round-robin: when the cursor reaches a backlogged
+// tenant with no credit left, the tenant is granted `weight` credits and
+// serves them one pick at a time before the cursor moves on — so over a
+// full rotation each backlogged tenant drains runs in proportion to its
+// weight. An empty queue forfeits its remaining credit (classic DRR: idle
+// tenants must not bank bursts); a tenant at its in-flight cap is skipped
+// with its credit intact and resumes when capacity frees up.
+//
+// eligible, when non-nil, restricts the pick to entries whose workload it
+// accepts — lease mode passes the requesting worker's supported set. The
+// earliest eligible entry in the tenant's FIFO is served; a tenant whose
+// queued work is entirely ineligible is skipped with its credit intact,
+// exactly like an at-cap tenant (another worker may drain it). A nil
+// eligible reproduces the embedded pick byte for byte.
+func (cl *priorityClass) pick(eligible func(workload string) bool) (*tenantQueue, queued, bool) {
 	n := len(cl.order)
 	for i := 0; i < n; i++ {
 		tq := cl.order[cl.cursor]
@@ -194,12 +223,30 @@ func (cl *priorityClass) pick() (*tenantQueue, queued, bool) {
 			cl.cursor = (cl.cursor + 1) % n
 			continue
 		}
+		j := 0
+		if eligible != nil {
+			j = -1
+			for k := range tq.queue {
+				if eligible(tq.queue[k].workload) {
+					j = k
+					break
+				}
+			}
+			if j < 0 {
+				cl.cursor = (cl.cursor + 1) % n
+				continue
+			}
+		}
 		if tq.deficit <= 0 {
 			tq.deficit = tq.cfg.Weight
 		}
 		tq.deficit--
-		entry := tq.queue[0]
-		tq.queue = tq.queue[1:]
+		entry := tq.queue[j]
+		if j == 0 {
+			tq.queue = tq.queue[1:]
+		} else {
+			tq.queue = append(tq.queue[:j], tq.queue[j+1:]...)
+		}
 		if tq.deficit <= 0 || len(tq.queue) == 0 {
 			cl.cursor = (cl.cursor + 1) % n
 		}
@@ -225,6 +272,7 @@ type Dispatcher struct {
 	cond    *sync.Cond
 	queues  map[string]*tenantQueue
 	classes []*priorityClass // strictly descending by priority
+	leased  map[string]*leaseEntry
 	closed  bool
 
 	met instruments
@@ -233,15 +281,16 @@ type Dispatcher struct {
 // instruments is the dispatcher's metric handles. Every field is nil-safe
 // (see internal/metrics), so an unconfigured registry costs nothing.
 type instruments struct {
-	submits     *metrics.CounterVec   // dagd_submits_total{tenant}
-	rejections  *metrics.CounterVec   // dagd_submit_rejections_total{tenant,reason}
-	queueDepth  *metrics.GaugeVec     // dagd_queue_depth{tenant,priority}
-	inflight    *metrics.GaugeVec     // dagd_inflight_runs{tenant,priority}
-	oldestAge   *metrics.GaugeVec     // dagd_queue_oldest_age_seconds{tenant,priority}
-	queueWait   *metrics.HistogramVec // dagd_queue_wait_seconds{tenant}
-	completed   *metrics.CounterVec   // dagd_runs_completed_total{tenant,state}
-	runDuration *metrics.HistogramVec // dagd_run_duration_seconds{workload,shape}
-	runNodes    *metrics.CounterVec   // dagd_run_nodes_total{workload}
+	submits      *metrics.CounterVec   // dagd_submits_total{tenant}
+	rejections   *metrics.CounterVec   // dagd_submit_rejections_total{tenant,reason}
+	queueDepth   *metrics.GaugeVec     // dagd_queue_depth{tenant,priority}
+	inflight     *metrics.GaugeVec     // dagd_inflight_runs{tenant,priority}
+	oldestAge    *metrics.GaugeVec     // dagd_queue_oldest_age_seconds{tenant,priority}
+	queueWait    *metrics.HistogramVec // dagd_queue_wait_seconds{tenant}
+	completed    *metrics.CounterVec   // dagd_runs_completed_total{tenant,state}
+	runDuration  *metrics.HistogramVec // dagd_run_duration_seconds{workload,shape}
+	runNodes     *metrics.CounterVec   // dagd_run_nodes_total{workload}
+	redispatched *metrics.CounterVec   // dagd_runs_redispatched_total{tenant}
 }
 
 // newInstruments registers the dispatcher's metric families. reg may be nil.
@@ -270,6 +319,8 @@ func newInstruments(reg *metrics.Registry) instruments {
 			runBuckets, "workload", "shape"),
 		runNodes: reg.CounterVec("dagd_run_nodes_total",
 			"DAG nodes executed by completed runs.", "workload"),
+		redispatched: reg.CounterVec("dagd_runs_redispatched_total",
+			"Runs requeued after their worker lease expired (Restarts incremented).", "tenant"),
 	}
 }
 
@@ -285,6 +336,7 @@ func New(store run.Store, opts Options) *Dispatcher {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queues:     make(map[string]*tenantQueue),
+		leased:     make(map[string]*leaseEntry),
 	}
 	d.cond = sync.NewCond(&d.mu)
 
@@ -329,9 +381,13 @@ func New(store run.Store, opts Options) *Dispatcher {
 		}
 	})
 
-	for i := 0; i < opts.Dispatchers; i++ {
-		d.wg.Add(1)
-		go d.loop()
+	// In remote mode no execution pool runs in-process; internal/fleet
+	// drains the queues through Lease instead.
+	if !opts.Remote {
+		for i := 0; i < opts.Dispatchers; i++ {
+			d.wg.Add(1)
+			go d.loop()
+		}
 	}
 	return d
 }
@@ -517,7 +573,7 @@ func (d *Dispatcher) Submit(spec run.Spec) (run.Run, error) {
 		d.met.rejections.With(cfg.Name, "shutting_down").Inc()
 		return run.Run{}, ErrShuttingDown
 	}
-	tq.queue = append(tq.queue, queued{id: r.ID, at: time.Now()})
+	tq.queue = append(tq.queue, queued{id: r.ID, at: time.Now(), workload: spec.Workload})
 	tq.submitted++
 	d.cond.Signal()
 	d.mu.Unlock()
@@ -543,7 +599,7 @@ func (d *Dispatcher) Recover(runs []run.Run) int {
 	now := time.Now()
 	for _, r := range runs {
 		tq := d.queueForLocked(r.Spec.Tenant)
-		tq.queue = append(tq.queue, queued{id: r.ID, at: now})
+		tq.queue = append(tq.queue, queued{id: r.ID, at: now, workload: r.Spec.Workload})
 		tq.submitted++
 		d.met.submits.With(tq.cfg.Name).Inc()
 	}
@@ -581,7 +637,11 @@ func (d *Dispatcher) Cancel(id string) (run.Run, error) {
 // Shutdown stops accepting new runs, lets queued and in-flight runs drain,
 // and waits for the pool to exit. If ctx expires first, every in-flight
 // run is force-cancelled (it will finish as cancelled) and Shutdown keeps
-// waiting for the pool, returning ctx's error. Shutdown is idempotent.
+// waiting for the pool, returning ctx's error. In remote mode there is no
+// pool: Shutdown instead waits for the queues to empty and every
+// outstanding lease to complete or expire; if ctx expires first the
+// remaining leased runs are abandoned (they replay as queued on the next
+// boot, exactly like a crash). Shutdown is idempotent.
 func (d *Dispatcher) Shutdown(ctx context.Context) error {
 	d.mu.Lock()
 	if !d.closed {
@@ -589,6 +649,10 @@ func (d *Dispatcher) Shutdown(ctx context.Context) error {
 		d.cond.Broadcast()
 	}
 	d.mu.Unlock()
+
+	if d.opts.Remote {
+		return d.drainRemote(ctx)
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -605,6 +669,30 @@ func (d *Dispatcher) Shutdown(ctx context.Context) error {
 	}
 }
 
+// drainRemote waits for remote-mode work to finish: CompleteLease and
+// ExpireLease broadcast on every state change, so the wait re-checks until
+// nothing is queued or leased, or ctx gives up.
+func (d *Dispatcher) drainRemote(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		// Taking mu before broadcasting guarantees the waiter below is
+		// either still before its ctx.Err() check or parked in Wait —
+		// never in between, where a wakeup could be lost.
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.cond.Broadcast()
+	})
+	defer stop()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.queuedLocked()+len(d.leased) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		d.cond.Wait()
+	}
+	return nil
+}
+
 // next blocks until a run is scheduled to this dispatcher or the queues
 // are closed and drained; ok is false only on the latter. The returned
 // tenantQueue has had its in-flight count incremented — the caller owes a
@@ -614,7 +702,7 @@ func (d *Dispatcher) next() (id string, tq *tenantQueue, dispatchedAt time.Time,
 	defer d.mu.Unlock()
 	for {
 		for _, cl := range d.classes {
-			if q, picked, found := cl.pick(); found {
+			if q, picked, found := cl.pick(nil); found {
 				q.inflight++
 				now := time.Now()
 				d.met.queueWait.With(q.cfg.Name).Observe(now.Sub(picked.at).Seconds())
@@ -661,7 +749,7 @@ func (d *Dispatcher) execute(id string, tq *tenantQueue, dispatchedAt time.Time)
 	ctx, cancel := context.WithCancel(d.baseCtx)
 	defer cancel()
 
-	r, err := d.store.Begin(id, dispatchedAt, cancel)
+	r, err := d.store.Begin(id, dispatchedAt, "", cancel)
 	if err != nil {
 		if errors.Is(err, run.ErrNotQueued) || errors.Is(err, run.ErrNotFound) {
 			// Cancelled while queued and popped before Cancel could unlink

@@ -323,8 +323,8 @@ type beginDegradedStore struct {
 	run.Store
 }
 
-func (s *beginDegradedStore) Begin(id string, dispatchedAt time.Time, cancel context.CancelFunc) (run.Run, error) {
-	r, err := s.Store.Begin(id, dispatchedAt, cancel)
+func (s *beginDegradedStore) Begin(id string, dispatchedAt time.Time, worker string, cancel context.CancelFunc) (run.Run, error) {
+	r, err := s.Store.Begin(id, dispatchedAt, worker, cancel)
 	if err != nil {
 		return r, err
 	}

@@ -1,0 +1,196 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+)
+
+// This file is the remote half of the dispatcher: in lease mode
+// (Options.Remote) no in-process pool drains the tenant queues — instead
+// internal/fleet pulls ready runs through Lease on behalf of registered
+// workers and reports outcomes back through CompleteLease, or gives up on
+// a dead worker through ExpireLease. The scheduling policy (strict
+// priority between classes, weighted deficit round-robin within one,
+// in-flight caps) is exactly the embedded policy: Lease runs the same
+// pick over the same queues, so fairness guarantees hold no matter where
+// execution happens.
+
+// Lease blocks until a queued run matching the worker's supported
+// workloads is scheduled to it, then transitions the run to running
+// (store.Begin, attributing it to worker and logging the grant through
+// the WAL-backed store) and returns the running snapshot. It returns
+// ctx.Err() when the caller gives up waiting (long-poll deadline),
+// ErrShuttingDown once a drain has begun and the queues are empty.
+//
+// supports filters which queue entries this worker may take (nil accepts
+// everything); a tenant whose queued work is entirely unsupported is
+// skipped without losing its rotation credit. onCancel is the run's
+// cancel hook: the store invokes it (possibly under a store shard lock —
+// it must not call back into the dispatcher) when cancellation is
+// requested, and the fleet layer relays it to the worker on its next
+// heartbeat.
+func (d *Dispatcher) Lease(ctx context.Context, worker string, supports func(workload string) bool, onCancel func(id string)) (run.Run, error) {
+	stop := context.AfterFunc(ctx, func() {
+		// Lock-step with the wait loop below so a cancellation arriving
+		// between the ctx.Err() check and cond.Wait() is never lost.
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.cond.Broadcast()
+	})
+	defer stop()
+
+	for {
+		d.mu.Lock()
+		var picked queued
+		var tq *tenantQueue
+		for {
+			if err := ctx.Err(); err != nil {
+				d.mu.Unlock()
+				return run.Run{}, err
+			}
+			found := false
+			for _, cl := range d.classes {
+				if tq, picked, found = cl.pick(supports); found {
+					break
+				}
+			}
+			if found {
+				break
+			}
+			// A drain keeps serving leases until the queues are empty:
+			// queued work still needs workers. Leased runs finishing is
+			// drainRemote's concern, not Lease's.
+			if d.closed && d.queuedLocked() == 0 {
+				d.mu.Unlock()
+				return run.Run{}, ErrShuttingDown
+			}
+			d.cond.Wait()
+		}
+		tq.inflight++
+		d.leased[picked.id] = &leaseEntry{tq: tq, workload: picked.workload}
+		now := time.Now()
+		d.met.queueWait.With(tq.cfg.Name).Observe(now.Sub(picked.at).Seconds())
+		d.mu.Unlock()
+
+		// Begin outside mu: the WAL-backed store fsyncs here.
+		r, err := d.store.Begin(picked.id, now, worker, func() { onCancel(picked.id) })
+		if err != nil {
+			if errors.Is(err, run.ErrNotQueued) || errors.Is(err, run.ErrNotFound) {
+				// Cancelled while queued and popped before Cancel could
+				// unlink it: release the claim and pick again.
+				d.mu.Lock()
+				delete(d.leased, picked.id)
+				tq.inflight--
+				d.cond.Broadcast()
+				d.mu.Unlock()
+				continue
+			}
+			// Durable-append failure with the in-memory transition standing
+			// (see wal.Store.Begin): lease it anyway — abandoning the run
+			// now would strand it in running with no lease to expire.
+			log.Printf("dispatch: recording lease of %s by %s: %v (leasing anyway)", picked.id, worker, err)
+		}
+		return r, nil
+	}
+}
+
+// CompleteLease records a worker-reported outcome for a leased run and
+// releases its lease: state must be terminal, and errMsg carries the
+// worker-side error text for failed and cancelled outcomes. It returns
+// ErrNotLeased when the run has no outstanding lease — the loser of a
+// completion-vs-expiry race — in which case the report is discarded and
+// the re-dispatched attempt proceeds elsewhere.
+func (d *Dispatcher) CompleteLease(id string, state run.State, errMsg string, result *run.Result) (run.Run, error) {
+	d.mu.Lock()
+	le, ok := d.leased[id]
+	if !ok {
+		d.mu.Unlock()
+		return run.Run{}, ErrNotLeased
+	}
+	delete(d.leased, id)
+	d.mu.Unlock()
+
+	// Reconstitute the worker's outcome as the error Finish classifies:
+	// nil → succeeded, a context.Canceled-wrapped error → cancelled,
+	// anything else → failed.
+	var runErr error
+	switch state {
+	case run.StateSucceeded:
+	case run.StateCancelled:
+		if errMsg == "" {
+			runErr = context.Canceled
+		} else {
+			runErr = fmt.Errorf("%s: %w", errMsg, context.Canceled)
+		}
+	default:
+		if errMsg == "" {
+			errMsg = "worker reported failure"
+		}
+		runErr = errors.New(errMsg)
+	}
+
+	fr, ferr := d.store.Finish(id, result, runErr)
+	if ferr != nil && !errors.Is(ferr, run.ErrNotRunning) {
+		log.Printf("dispatch: recording completion of %s: %v", id, ferr)
+	}
+	if ferr == nil {
+		d.met.completed.With(fr.Spec.Tenant, fr.State.String()).Inc()
+		if fr.StartedAt != nil && fr.FinishedAt != nil {
+			d.met.runDuration.With(fr.Spec.Workload, fr.Spec.Shape.String()).
+				Observe(fr.FinishedAt.Sub(*fr.StartedAt).Seconds())
+		}
+		if result != nil {
+			d.met.runNodes.With(fr.Spec.Workload).Add(float64(result.Nodes))
+		}
+	}
+	d.release(le.tq, true)
+	d.store.EvictTerminal(d.opts.RetainRuns)
+	return fr, ferr
+}
+
+// ExpireLease abandons a leased run whose worker stopped heartbeating:
+// the run is requeued through the store (Restarts++, WAL-logged with the
+// same requeue record crash recovery writes) and re-enqueued at the tail
+// of its tenant's queue for re-dispatch, bypassing queue-depth quotas the
+// same way crash recovery does — the work was already admitted once.
+// Returns ErrNotLeased when the run's completion won the race.
+func (d *Dispatcher) ExpireLease(id string) (run.Run, error) {
+	d.mu.Lock()
+	le, ok := d.leased[id]
+	if !ok {
+		d.mu.Unlock()
+		return run.Run{}, ErrNotLeased
+	}
+	delete(d.leased, id)
+	d.mu.Unlock()
+
+	r, err := d.store.Requeue(id)
+	if err != nil {
+		// The run left the running state some other way (e.g. it was
+		// deleted); just surrender the slot.
+		d.release(le.tq, false)
+		return r, err
+	}
+	d.mu.Lock()
+	le.tq.inflight--
+	le.tq.queue = append(le.tq.queue, queued{id: id, at: time.Now(), workload: le.workload})
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.met.redispatched.With(r.Spec.Tenant).Inc()
+	return r, nil
+}
+
+// LeasedLen returns how many runs are currently leased to remote workers.
+func (d *Dispatcher) LeasedLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.leased)
+}
+
+// Remote reports whether the dispatcher runs in lease mode.
+func (d *Dispatcher) Remote() bool { return d.opts.Remote }

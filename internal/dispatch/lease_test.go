@@ -1,0 +1,430 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/tenant"
+)
+
+func newRemoteDispatcher(t *testing.T, opts Options) (run.Store, *Dispatcher) {
+	t.Helper()
+	opts.Remote = true
+	store := run.NewMemStore()
+	d := New(store, opts)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+	})
+	return store, d
+}
+
+func lease(t *testing.T, d *Dispatcher, worker string) run.Run {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	r, err := d.Lease(ctx, worker, nil, func(string) {})
+	if err != nil {
+		t.Fatalf("Lease(%s): %v", worker, err)
+	}
+	return r
+}
+
+func TestLeaseCompleteLifecycle(t *testing.T) {
+	store, d := newRemoteDispatcher(t, Options{QueueDepth: 8})
+	sub, err := d.Submit(pipelineSpec(5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := lease(t, d, "w1")
+	if r.ID != sub.ID || r.State != run.StateRunning || r.Worker != "w1" {
+		t.Fatalf("Lease = %+v, want %s running on w1", r, sub.ID)
+	}
+	if r.DispatchedAt == nil || r.StartedAt == nil {
+		t.Fatalf("Lease left timestamps unset: %+v", r)
+	}
+	if d.LeasedLen() != 1 {
+		t.Fatalf("LeasedLen = %d, want 1", d.LeasedLen())
+	}
+
+	fr, err := d.CompleteLease(r.ID, run.StateSucceeded, "", &run.Result{Match: true, Nodes: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.State != run.StateSucceeded || fr.Worker != "w1" {
+		t.Fatalf("CompleteLease = %+v, want succeeded on w1", fr)
+	}
+	if d.LeasedLen() != 0 {
+		t.Fatalf("LeasedLen after complete = %d, want 0", d.LeasedLen())
+	}
+	if got, _ := store.Get(r.ID); got.State != run.StateSucceeded {
+		t.Fatalf("store state = %s, want succeeded", got.State)
+	}
+
+	// Double completion: the lease is gone.
+	if _, err := d.CompleteLease(r.ID, run.StateSucceeded, "", nil); !errors.Is(err, ErrNotLeased) {
+		t.Errorf("second CompleteLease = %v, want ErrNotLeased", err)
+	}
+}
+
+func TestCompleteLeaseOutcomes(t *testing.T) {
+	cases := []struct {
+		name      string
+		state     run.State
+		errMsg    string
+		wantState run.State
+	}{
+		{"failed", run.StateFailed, "node 3 exploded", run.StateFailed},
+		{"cancelled", run.StateCancelled, "", run.StateCancelled},
+		{"cancelled_with_msg", run.StateCancelled, "ctx done", run.StateCancelled},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			store, d := newRemoteDispatcher(t, Options{QueueDepth: 8})
+			sub, err := d.Submit(pipelineSpec(5, 2, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lease(t, d, "w1")
+			fr, err := d.CompleteLease(sub.ID, tc.state, tc.errMsg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.State != tc.wantState {
+				t.Errorf("state = %s, want %s", fr.State, tc.wantState)
+			}
+			if tc.errMsg != "" && fr.Error == "" {
+				t.Errorf("error text lost: %+v", fr)
+			}
+			if got, _ := store.Get(sub.ID); got.State != tc.wantState {
+				t.Errorf("store state = %s, want %s", got.State, tc.wantState)
+			}
+		})
+	}
+}
+
+func TestExpireLeaseRedispatches(t *testing.T) {
+	store, d := newRemoteDispatcher(t, Options{QueueDepth: 8})
+	sub, err := d.Submit(pipelineSpec(5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease(t, d, "w1")
+
+	r, err := d.ExpireLease(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.State != run.StateQueued || r.Restarts != 1 || r.Worker != "" {
+		t.Fatalf("ExpireLease = %+v, want queued/restarts=1/no worker", r)
+	}
+	if d.LeasedLen() != 0 {
+		t.Fatalf("LeasedLen after expiry = %d, want 0", d.LeasedLen())
+	}
+	// The dead worker's completion report loses the race.
+	if _, err := d.CompleteLease(sub.ID, run.StateSucceeded, "", nil); !errors.Is(err, ErrNotLeased) {
+		t.Errorf("CompleteLease after expiry = %v, want ErrNotLeased", err)
+	}
+
+	// A surviving worker picks the retry up and completes it.
+	r2 := lease(t, d, "w2")
+	if r2.ID != sub.ID || r2.Worker != "w2" || r2.Restarts != 1 {
+		t.Fatalf("re-lease = %+v, want %s on w2 with restarts=1", r2, sub.ID)
+	}
+	if _, err := d.CompleteLease(sub.ID, run.StateSucceeded, "", &run.Result{Match: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := store.Get(sub.ID)
+	if got.State != run.StateSucceeded || got.Restarts != 1 || got.Worker != "w2" {
+		t.Fatalf("final = %+v, want succeeded/1/w2", got)
+	}
+}
+
+// TestLeaseWorkloadFilter pins eligibility routing: a worker that only
+// supports hashchain must not be handed a pathcount run, and a tenant
+// whose queued work is unsupported is skipped rather than blocking.
+func TestLeaseWorkloadFilter(t *testing.T) {
+	_, d := newRemoteDispatcher(t, Options{QueueDepth: 8})
+	pc, err := d.Submit(pipelineSpec(5, 2, 0)) // default workload: pathcount
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcSpec := pipelineSpec(5, 2, 0)
+	hcSpec.Workload = "hashchain"
+	hc, err := d.Submit(hcSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	r, err := d.Lease(ctx, "hc-only", func(w string) bool { return w == "hashchain" }, func(string) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != hc.ID {
+		t.Fatalf("hashchain-only worker leased %s, want %s", r.ID, hc.ID)
+	}
+
+	// An unrestricted worker gets the remaining pathcount run.
+	r2 := lease(t, d, "any")
+	if r2.ID != pc.ID {
+		t.Fatalf("unrestricted worker leased %s, want %s", r2.ID, pc.ID)
+	}
+	for _, id := range []string{pc.ID, hc.ID} {
+		if _, err := d.CompleteLease(id, run.StateSucceeded, "", &run.Result{Match: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLeaseLongPollTimesOut(t *testing.T) {
+	_, d := newRemoteDispatcher(t, Options{QueueDepth: 8})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := d.Lease(ctx, "w1", nil, func(string) {})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Lease on empty queue = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatalf("Lease blocked %v past its deadline", time.Since(start))
+	}
+}
+
+// TestLeaseWakesOnSubmit verifies a parked Lease is woken by a concurrent
+// Submit rather than waiting out its long-poll deadline.
+func TestLeaseWakesOnSubmit(t *testing.T) {
+	_, d := newRemoteDispatcher(t, Options{QueueDepth: 8})
+	got := make(chan run.Run, 1)
+	errc := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		r, err := d.Lease(ctx, "w1", nil, func(string) {})
+		if err != nil {
+			errc <- err
+			return
+		}
+		got <- r
+	}()
+	time.Sleep(20 * time.Millisecond) // let the lease park
+	sub, err := d.Submit(pipelineSpec(5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-got:
+		if r.ID != sub.ID {
+			t.Fatalf("woken lease got %s, want %s", r.ID, sub.ID)
+		}
+		if _, err := d.CompleteLease(r.ID, run.StateSucceeded, "", &run.Result{Match: true}); err != nil {
+			t.Fatal(err)
+		}
+	case err := <-errc:
+		t.Fatalf("Lease: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("Lease never woke on Submit")
+	}
+}
+
+// TestLeaseCancelHook verifies a cancel on a leased run fires the lease's
+// hook (the fleet layer relays it to the worker) and that the worker's
+// cancelled completion report lands as cancelled.
+func TestLeaseCancelHook(t *testing.T) {
+	store, d := newRemoteDispatcher(t, Options{QueueDepth: 8})
+	sub, err := d.Submit(pipelineSpec(5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var cancelled []string
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := d.Lease(ctx, "w1", nil, func(id string) {
+		mu.Lock()
+		cancelled = append(cancelled, id)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := d.Cancel(sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	hooked := len(cancelled) == 1 && cancelled[0] == sub.ID
+	mu.Unlock()
+	if !hooked {
+		t.Fatalf("cancel hook saw %v, want [%s]", cancelled, sub.ID)
+	}
+	// Run stays running until the worker acknowledges.
+	if got, _ := store.Get(sub.ID); got.State != run.StateRunning {
+		t.Fatalf("state after cancel = %s, want running until worker reports", got.State)
+	}
+	fr, err := d.CompleteLease(sub.ID, run.StateCancelled, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.State != run.StateCancelled {
+		t.Fatalf("final state = %s, want cancelled", fr.State)
+	}
+}
+
+// TestCancelQueuedInRemoteMode pins that cancelling a still-queued run in
+// remote mode unlinks it so no worker is ever handed a cancelled run.
+func TestCancelQueuedInRemoteMode(t *testing.T) {
+	_, d := newRemoteDispatcher(t, Options{QueueDepth: 8})
+	sub, err := d.Submit(pipelineSpec(5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := d.Cancel(sub.ID); err != nil || r.State != run.StateCancelled {
+		t.Fatalf("Cancel(queued) = %+v, %v", r, err)
+	}
+	if d.QueueLen() != 0 {
+		t.Fatalf("QueueLen after cancel = %d, want 0", d.QueueLen())
+	}
+}
+
+// TestRemoteShutdownDrains verifies Shutdown in remote mode waits for the
+// outstanding lease to complete, then returns cleanly.
+func TestRemoteShutdownDrains(t *testing.T) {
+	store := run.NewMemStore()
+	d := New(store, Options{QueueDepth: 8, Remote: true})
+	sub, err := d.Submit(pipelineSpec(5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease(t, d, "w1")
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- d.Shutdown(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned %v with a lease outstanding", err)
+	default:
+	}
+	if _, err := d.CompleteLease(sub.ID, run.StateSucceeded, "", &run.Result{Match: true}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Shutdown = %v, want nil after drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown never returned after the last lease completed")
+	}
+	if _, err := d.Submit(pipelineSpec(5, 2, 0)); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("Submit after Shutdown = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestRemoteShutdownAbandonsOnCtxExpiry verifies a remote drain gives up
+// when its context expires while a lease is still outstanding (the run
+// stays running; a restart would replay it as queued).
+func TestRemoteShutdownAbandonsOnCtxExpiry(t *testing.T) {
+	store := run.NewMemStore()
+	d := New(store, Options{QueueDepth: 8, Remote: true})
+	sub, err := d.Submit(pipelineSpec(5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease(t, d, "w1")
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := d.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+	if got, _ := store.Get(sub.ID); got.State != run.StateRunning {
+		t.Fatalf("abandoned run state = %s, want running", got.State)
+	}
+}
+
+// TestLeaseDrainServesQueuedWork verifies a drain keeps granting leases
+// until the queues are empty: queued work needs workers to finish.
+func TestLeaseDrainServesQueuedWork(t *testing.T) {
+	store := run.NewMemStore()
+	d := New(store, Options{QueueDepth: 8, Remote: true})
+	sub, err := d.Submit(pipelineSpec(5, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- d.Shutdown(ctx)
+	}()
+	// Wait until the drain has begun so the lease below exercises the
+	// closed-but-backlogged path.
+	for !d.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	r := lease(t, d, "w1")
+	if r.ID != sub.ID {
+		t.Fatalf("lease during drain = %s, want %s", r.ID, sub.ID)
+	}
+	if _, err := d.CompleteLease(r.ID, run.StateSucceeded, "", &run.Result{Match: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	// With the queues empty and closed, further leases are refused.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := d.Lease(ctx, "w1", nil, func(string) {}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("Lease after drain = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestLeaseFairnessAcrossTenants verifies lease mode preserves the DRR
+// weight ratio the embedded pool guarantees: with tenants weighted 2:1
+// and equal backlogs, grants alternate two-to-one.
+func TestLeaseFairnessAcrossTenants(t *testing.T) {
+	reg := mustRegistry(t,
+		tenant.Config{Name: "default", Weight: 1},
+		tenant.Config{Name: "heavy", Weight: 2},
+	)
+	_, d := newRemoteDispatcher(t, Options{QueueDepth: 64, Tenants: reg})
+	for i := 0; i < 6; i++ {
+		spec := pipelineSpec(5, 2, 0)
+		spec.Tenant = "heavy"
+		if _, err := d.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Submit(pipelineSpec(5, 2, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []string
+	for i := 0; i < 12; i++ {
+		r := lease(t, d, "w1")
+		order = append(order, r.Spec.Tenant)
+		if _, err := d.CompleteLease(r.ID, run.StateSucceeded, "", &run.Result{Match: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One full rotation serves heavy twice and default once, starting from
+	// the alphabetically first tenant in the class.
+	want := []string{"default", "heavy", "heavy", "default", "heavy", "heavy"}
+	for i, tn := range order[:6] {
+		if tn != want[i] {
+			t.Fatalf("grant order %v, want prefix %v", order, want)
+		}
+	}
+}

@@ -99,7 +99,7 @@ func TestEvictionTieBreakDeterministic(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		r := mustCreate(t, s, pipelineSpec())
 		ids = append(ids, r.ID)
-		if _, err := s.Begin(r.ID, time.Now(), func() {}); err != nil {
+		if _, err := s.Begin(r.ID, time.Now(), "", func() {}); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := s.Finish(r.ID, &Result{Match: true}, nil); err != nil {

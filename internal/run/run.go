@@ -235,6 +235,12 @@ type Run struct {
 	Restarts int     `json:"restarts,omitempty"`
 	Error    string  `json:"error,omitempty"`
 	Result   *Result `json:"result,omitempty"`
+	// Worker identifies which executor ran (or is running) this run: the
+	// remote worker's registered name when the run was leased to the fleet,
+	// or "" for embedded in-process execution. Stamped by Begin, cleared
+	// when a lease expiry requeues the run, and retained on terminal
+	// snapshots for attribution.
+	Worker string `json:"worker,omitempty"`
 	// Lifecycle timestamps. DispatchedAt is when a dispatcher popped the run
 	// off its queue; StartedAt is when the store durably recorded the
 	// queued→running transition. The CreatedAt→DispatchedAt gap is queue

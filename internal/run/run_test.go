@@ -163,7 +163,7 @@ func TestLifecycleHappyPath(t *testing.T) {
 		t.Fatalf("Create = %+v, want queued with ID and CreatedAt", r)
 	}
 
-	began, err := s.Begin(r.ID, time.Now(), func() {})
+	began, err := s.Begin(r.ID, time.Now(), "", func() {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestLifecycleHappyPath(t *testing.T) {
 func TestFinishError(t *testing.T) {
 	s := NewMemStore()
 	r := mustCreate(t, s, pipelineSpec())
-	if _, err := s.Begin(r.ID, time.Now(), func() {}); err != nil {
+	if _, err := s.Begin(r.ID, time.Now(), "", func() {}); err != nil {
 		t.Fatal(err)
 	}
 	fin, err := s.Finish(r.ID, nil, errors.New("boom"))
@@ -202,7 +202,7 @@ func TestFinishError(t *testing.T) {
 func TestFinishCancelled(t *testing.T) {
 	s := NewMemStore()
 	r := mustCreate(t, s, pipelineSpec())
-	if _, err := s.Begin(r.ID, time.Now(), func() {}); err != nil {
+	if _, err := s.Begin(r.ID, time.Now(), "", func() {}); err != nil {
 		t.Fatal(err)
 	}
 	fin, err := s.Finish(r.ID, nil, fmt.Errorf("run aborted: %w", context.Canceled))
@@ -225,7 +225,7 @@ func TestCancelQueued(t *testing.T) {
 		t.Fatalf("Cancel(queued) = %+v, want cancelled", c)
 	}
 	// A dispatcher popping this ID later must be refused.
-	if _, err := s.Begin(r.ID, time.Now(), func() {}); !errors.Is(err, ErrNotQueued) {
+	if _, err := s.Begin(r.ID, time.Now(), "", func() {}); !errors.Is(err, ErrNotQueued) {
 		t.Errorf("Begin after cancel = %v, want ErrNotQueued", err)
 	}
 	// Cancelling again is a terminal-state error.
@@ -238,7 +238,7 @@ func TestCancelRunningInvokesHook(t *testing.T) {
 	s := NewMemStore()
 	r := mustCreate(t, s, pipelineSpec())
 	fired := false
-	if _, err := s.Begin(r.ID, time.Now(), func() { fired = true }); err != nil {
+	if _, err := s.Begin(r.ID, time.Now(), "", func() { fired = true }); err != nil {
 		t.Fatal(err)
 	}
 	c, err := s.Cancel(r.ID)
@@ -312,7 +312,7 @@ func TestTerminalSnapshotDropsEdges(t *testing.T) {
 	s := NewMemStore()
 
 	r := mustCreate(t, s, explicit)
-	began, err := s.Begin(r.ID, time.Now(), func() {})
+	began, err := s.Begin(r.ID, time.Now(), "", func() {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +385,7 @@ func TestAwait(t *testing.T) {
 
 	// Terminal runs return immediately, no blocking.
 	done := mustCreate(t, s, pipelineSpec())
-	if _, err := s.Begin(done.ID, time.Now(), func() {}); err != nil {
+	if _, err := s.Begin(done.ID, time.Now(), "", func() {}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Finish(done.ID, &Result{Match: true}, nil); err != nil {
@@ -398,7 +398,7 @@ func TestAwait(t *testing.T) {
 
 	// A waiter parked on a running run is released by Finish.
 	live := mustCreate(t, s, pipelineSpec())
-	if _, err := s.Begin(live.ID, time.Now(), func() {}); err != nil {
+	if _, err := s.Begin(live.ID, time.Now(), "", func() {}); err != nil {
 		t.Fatal(err)
 	}
 	got := make(chan Run, 1)
@@ -447,7 +447,7 @@ func TestSnapshotIsolation(t *testing.T) {
 	s := NewMemStore()
 	r := mustCreate(t, s, pipelineSpec())
 	before, _ := s.Get(r.ID)
-	if _, err := s.Begin(r.ID, time.Now(), func() {}); err != nil {
+	if _, err := s.Begin(r.ID, time.Now(), "", func() {}); err != nil {
 		t.Fatal(err)
 	}
 	if before.State != StateQueued {
@@ -473,7 +473,7 @@ func TestConcurrentLifecycles(t *testing.T) {
 				return
 			}
 			ids <- r.ID
-			if _, err := s.Begin(r.ID, time.Now(), func() {}); err != nil {
+			if _, err := s.Begin(r.ID, time.Now(), "", func() {}); err != nil {
 				t.Error(err)
 				return
 			}
@@ -510,7 +510,7 @@ func TestConcurrentLifecycles(t *testing.T) {
 func TestEvictTerminal(t *testing.T) {
 	s := NewMemStore()
 	finish := func(id string) {
-		if _, err := s.Begin(id, time.Now(), func() {}); err != nil {
+		if _, err := s.Begin(id, time.Now(), "", func() {}); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := s.Finish(id, &Result{Match: true}, nil); err != nil {
@@ -525,7 +525,7 @@ func TestEvictTerminal(t *testing.T) {
 	}
 	queued := mustCreate(t, s, pipelineSpec()).ID
 	running := mustCreate(t, s, pipelineSpec()).ID
-	if _, err := s.Begin(running, time.Now(), func() {}); err != nil {
+	if _, err := s.Begin(running, time.Now(), "", func() {}); err != nil {
 		t.Fatal(err)
 	}
 

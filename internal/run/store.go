@@ -39,10 +39,19 @@ type Store interface {
 	// Begin transitions a queued run to running and records the
 	// dispatcher's cancel hook. dispatchedAt is the moment the dispatcher
 	// popped the run off its queue, stamped on the run alongside the
-	// Begin-time StartedAt.
-	Begin(id string, dispatchedAt time.Time, cancel context.CancelFunc) (Run, error)
+	// Begin-time StartedAt. worker attributes the execution ("" for
+	// embedded in-process dispatch, the registered worker name for fleet
+	// leases).
+	Begin(id string, dispatchedAt time.Time, worker string, cancel context.CancelFunc) (Run, error)
 	// Finish transitions a running run to its terminal state.
 	Finish(id string, result *Result, err error) (Run, error)
+	// Requeue moves a running run back to queued within the same process —
+	// the lease-expiry path: a remote worker stopped heartbeating, so the
+	// run is re-admitted with Restarts incremented, execution-side fields
+	// (DispatchedAt, StartedAt, Worker, Result, Error) cleared, and any
+	// Await waiters left blocked until the retry reaches a terminal state.
+	// Returns ErrNotRunning when the run is not running.
+	Requeue(id string) (Run, error)
 	// Cancel requests cancellation (queued → cancelled immediately;
 	// running → cancel hook invoked).
 	Cancel(id string) (Run, error)
@@ -328,7 +337,7 @@ func (s *MemStore) CountByState() map[State]int {
 // cancel hook, and stamps DispatchedAt and StartedAt. It returns
 // ErrNotQueued (without touching the run) if the run is in any other state
 // — in particular if it was cancelled while still in the queue.
-func (s *MemStore) Begin(id string, dispatchedAt time.Time, cancel context.CancelFunc) (Run, error) {
+func (s *MemStore) Begin(id string, dispatchedAt time.Time, worker string, cancel context.CancelFunc) (Run, error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -343,7 +352,36 @@ func (s *MemStore) Begin(id string, dispatchedAt time.Time, cancel context.Cance
 	t.run.State = StateRunning
 	t.run.DispatchedAt = &dispatchedAt
 	t.run.StartedAt = &now
+	t.run.Worker = worker
 	t.cancel = cancel
+	return t.run, nil
+}
+
+// Requeue moves a running run back to queued: Restarts is incremented and
+// the execution-side fields (DispatchedAt, StartedAt, Worker, Result,
+// Error) are cleared so the retry's snapshot reads like a fresh queued run.
+// The done channel is left open — Await waiters keep waiting for the retry
+// to reach a terminal state, exactly as they would across a crash-recovery
+// requeue. Returns ErrNotRunning unless the run is currently running.
+func (s *MemStore) Requeue(id string) (Run, error) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t, ok := sh.runs[id]
+	if !ok {
+		return Run{}, ErrNotFound
+	}
+	if t.run.State != StateRunning {
+		return t.run, fmt.Errorf("%w (state %s)", ErrNotRunning, t.run.State)
+	}
+	t.run.State = StateQueued
+	t.run.Restarts++
+	t.run.DispatchedAt = nil
+	t.run.StartedAt = nil
+	t.run.Worker = ""
+	t.run.Result = nil
+	t.run.Error = ""
+	t.cancel = nil
 	return t.run, nil
 }
 

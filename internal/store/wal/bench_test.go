@@ -124,7 +124,7 @@ func BenchmarkWALFinishParallel(b *testing.B) {
 						if i >= int64(b.N) {
 							return
 						}
-						if _, err := s.Begin(ids[i], time.Now(), func() {}); err != nil {
+						if _, err := s.Begin(ids[i], time.Now(), "", func() {}); err != nil {
 							b.Error(err)
 							return
 						}

@@ -147,9 +147,10 @@ func replayFile(path string, final bool, state *replayState) error {
 
 // applyRecord folds one decoded record into the replay state. Snapshots
 // are last-writer-wins; the cancel-requested flag survives later
-// non-terminal records for the run (a begin cannot follow a cancel
-// request, but a requeue from an older recovery could only exist if the
-// flag was absent) and becomes irrelevant once a terminal record lands.
+// non-terminal records for the run except an explicit requeue — a requeue
+// supersedes the interrupted attempt (live lease expiry never requeues a
+// cancel-requested run, and recovery only writes opRequeue when the flag
+// was absent) — and becomes irrelevant once a terminal record lands.
 func applyRecord(rec record, state *replayState) {
 	switch rec.Op {
 	case opDel:
@@ -158,6 +159,9 @@ func applyRecord(rec record, state *replayState) {
 	case opCancelReq:
 		state.runs[rec.Run.ID] = *rec.Run
 		state.cancelRequested[rec.Run.ID] = true
+	case opRequeue:
+		state.runs[rec.Run.ID] = *rec.Run
+		delete(state.cancelRequested, rec.Run.ID)
 	default:
 		state.runs[rec.Run.ID] = *rec.Run
 	}

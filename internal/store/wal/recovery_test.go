@@ -40,7 +40,7 @@ func mustCreate(t *testing.T, s *wal.Store, spec run.Spec) run.Run {
 
 func drive(t *testing.T, s *wal.Store, id string, runErr error) run.Run {
 	t.Helper()
-	if _, err := s.Begin(id, time.Now(), func() {}); err != nil {
+	if _, err := s.Begin(id, time.Now(), "", func() {}); err != nil {
 		t.Fatalf("Begin(%s): %v", id, err)
 	}
 	var res *run.Result
@@ -99,7 +99,7 @@ func TestRecovery(t *testing.T) {
 	}
 	queued := mustCreate(t, s, pipelineSpec())
 	running := mustCreate(t, s, pipelineSpec())
-	if _, err := s.Begin(running.ID, time.Now(), func() {}); err != nil {
+	if _, err := s.Begin(running.ID, time.Now(), "", func() {}); err != nil {
 		t.Fatal(err)
 	}
 	before := s.List()
@@ -183,7 +183,7 @@ func TestRecoveryTwice(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir, wal.Options{})
 	r := mustCreate(t, s, pipelineSpec())
-	if _, err := s.Begin(r.ID, time.Now(), func() {}); err != nil {
+	if _, err := s.Begin(r.ID, time.Now(), "", func() {}); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -395,7 +395,7 @@ func TestCancelRequestedSurvivesCrash(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir, wal.Options{})
 	r := mustCreate(t, s, pipelineSpec())
-	if _, err := s.Begin(r.ID, time.Now(), func() {}); err != nil {
+	if _, err := s.Begin(r.ID, time.Now(), "", func() {}); err != nil {
 		t.Fatal(err)
 	}
 	if c, err := s.Cancel(r.ID); err != nil || c.State != run.StateRunning {
@@ -472,7 +472,7 @@ func TestRecoveryPreservesTenant(t *testing.T) {
 	}
 	queued := mustCreate(t, s, specFor("alpha"))
 	running := mustCreate(t, s, specFor("beta"))
-	if _, err := s.Begin(running.ID, time.Now(), func() {}); err != nil {
+	if _, err := s.Begin(running.ID, time.Now(), "", func() {}); err != nil {
 		t.Fatal(err)
 	}
 	terminal := mustCreate(t, s, specFor("alpha"))

@@ -74,7 +74,7 @@ func TestRecoveryFailsRevalidationTerminally(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Begin(r2.ID, time.Now(), func() {}); err != nil {
+	if _, err := s.Begin(r2.ID, time.Now(), "", func() {}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Finish(r2.ID, &run.Result{Match: true}, nil); err != nil {

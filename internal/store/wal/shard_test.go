@@ -156,7 +156,7 @@ func TestGroupCommitConcurrentDurability(t *testing.T) {
 					t.Errorf("Create: %v", err)
 					return
 				}
-				if _, err := s.Begin(r.ID, time.Now(), func() {}); err != nil {
+				if _, err := s.Begin(r.ID, time.Now(), "", func() {}); err != nil {
 					t.Errorf("Begin(%s): %v", r.ID, err)
 					return
 				}

@@ -370,15 +370,40 @@ func (s *Store) Create(spec run.Spec) (run.Run, error) {
 // log failure is returned but the in-memory transition stands — memory is
 // the source of truth while the process lives, and the next compaction
 // re-syncs the log.
-func (s *Store) Begin(id string, dispatchedAt time.Time, cancel context.CancelFunc) (run.Run, error) {
+func (s *Store) Begin(id string, dispatchedAt time.Time, worker string, cancel context.CancelFunc) (run.Run, error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	r, err := s.mem.Begin(id, dispatchedAt, cancel)
+	r, err := s.mem.Begin(id, dispatchedAt, worker, cancel)
 	if err != nil {
 		sh.mu.Unlock()
 		return r, err
 	}
 	ticket, err := sh.appendLocked(record{Op: opBegin, Run: &r})
+	sh.mu.Unlock()
+	if err != nil {
+		return r, err
+	}
+	return r, sh.waitDurable(ticket)
+}
+
+// Requeue moves a running run back to queued (see run.Store) — the live
+// lease-expiry path. The same opRequeue record crash recovery writes is
+// appended, carrying the post-requeue snapshot (Restarts incremented,
+// execution fields cleared), so a crash after a lease expiry replays the
+// run as queued, not running. Any cancel-request flag is dropped with the
+// lease: a cancel acknowledged against the dead worker's attempt is
+// superseded by the re-dispatch (callers expire cancel-requested leases as
+// cancelled instead of requeueing them).
+func (s *Store) Requeue(id string) (run.Run, error) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	r, err := s.mem.Requeue(id)
+	if err != nil {
+		sh.mu.Unlock()
+		return r, err
+	}
+	delete(sh.cancelReq, id)
+	ticket, err := sh.appendLocked(record{Op: opRequeue, Run: &r})
 	sh.mu.Unlock()
 	if err != nil {
 		return r, err

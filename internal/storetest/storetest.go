@@ -39,6 +39,7 @@ func Run(t *testing.T, newStore Factory) {
 	t.Run("CursorStability", func(t *testing.T) { testCursorStability(t, newStore) })
 	t.Run("Delete", func(t *testing.T) { testDelete(t, newStore) })
 	t.Run("Counts", func(t *testing.T) { testCounts(t, newStore) })
+	t.Run("Requeue", func(t *testing.T) { testRequeue(t, newStore) })
 }
 
 func spec() run.Spec {
@@ -62,7 +63,7 @@ func create(t *testing.T, s run.Store) run.Run {
 
 func begin(t *testing.T, s run.Store, id string) run.Run {
 	t.Helper()
-	r, err := s.Begin(id, time.Now(), func() {})
+	r, err := s.Begin(id, time.Now(), "", func() {})
 	if err != nil {
 		t.Fatalf("Begin(%s): %v", id, err)
 	}
@@ -152,7 +153,7 @@ func testWrongStateTransitions(t *testing.T, newStore Factory) {
 	if _, err := s.Get("nope"); !errors.Is(err, run.ErrNotFound) {
 		t.Errorf("Get(missing) = %v, want ErrNotFound", err)
 	}
-	if _, err := s.Begin("nope", time.Now(), func() {}); !errors.Is(err, run.ErrNotFound) {
+	if _, err := s.Begin("nope", time.Now(), "", func() {}); !errors.Is(err, run.ErrNotFound) {
 		t.Errorf("Begin(missing) = %v, want ErrNotFound", err)
 	}
 	if _, err := s.Finish("nope", nil, nil); !errors.Is(err, run.ErrNotFound) {
@@ -167,11 +168,11 @@ func testWrongStateTransitions(t *testing.T, newStore Factory) {
 		t.Errorf("Finish(queued) = %v, want ErrNotRunning", err)
 	}
 	begin(t, s, r.ID)
-	if _, err := s.Begin(r.ID, time.Now(), func() {}); !errors.Is(err, run.ErrNotQueued) {
+	if _, err := s.Begin(r.ID, time.Now(), "", func() {}); !errors.Is(err, run.ErrNotQueued) {
 		t.Errorf("Begin(running) = %v, want ErrNotQueued", err)
 	}
 	finish(t, s, r.ID, &run.Result{Match: true}, nil)
-	if _, err := s.Begin(r.ID, time.Now(), func() {}); !errors.Is(err, run.ErrNotQueued) {
+	if _, err := s.Begin(r.ID, time.Now(), "", func() {}); !errors.Is(err, run.ErrNotQueued) {
 		t.Errorf("Begin(terminal) = %v, want ErrNotQueued", err)
 	}
 	if _, err := s.Finish(r.ID, nil, nil); !errors.Is(err, run.ErrNotRunning) {
@@ -190,7 +191,7 @@ func testCancelQueued(t *testing.T, newStore Factory) {
 		t.Fatalf("Cancel(queued) = %+v, want cancelled with FinishedAt", c)
 	}
 	// A dispatcher popping this ID later must be refused.
-	if _, err := s.Begin(r.ID, time.Now(), func() {}); !errors.Is(err, run.ErrNotQueued) {
+	if _, err := s.Begin(r.ID, time.Now(), "", func() {}); !errors.Is(err, run.ErrNotQueued) {
 		t.Errorf("Begin after cancel = %v, want ErrNotQueued", err)
 	}
 	if _, err := s.Cancel(r.ID); !errors.Is(err, run.ErrTerminal) {
@@ -202,7 +203,7 @@ func testCancelRunning(t *testing.T, newStore Factory) {
 	s := newStore(t)
 	r := create(t, s)
 	fired := false
-	if _, err := s.Begin(r.ID, time.Now(), func() { fired = true }); err != nil {
+	if _, err := s.Begin(r.ID, time.Now(), "", func() { fired = true }); err != nil {
 		t.Fatal(err)
 	}
 	c, err := s.Cancel(r.ID)
@@ -446,6 +447,82 @@ func testDelete(t *testing.T, newStore Factory) {
 	case <-got:
 	case <-time.After(5 * time.Second):
 		t.Fatal("Await never released by Delete")
+	}
+}
+
+// testRequeue exercises the lease-expiry path: a running run drops back to
+// queued with Restarts incremented, execution fields cleared, attribution
+// intact, and Await waiters still parked until the retry finishes.
+func testRequeue(t *testing.T, newStore Factory) {
+	s := newStore(t)
+
+	if _, err := s.Requeue("nope"); !errors.Is(err, run.ErrNotFound) {
+		t.Errorf("Requeue(missing) = %v, want ErrNotFound", err)
+	}
+
+	r := create(t, s)
+	if _, err := s.Requeue(r.ID); !errors.Is(err, run.ErrNotRunning) {
+		t.Errorf("Requeue(queued) = %v, want ErrNotRunning", err)
+	}
+
+	if _, err := s.Begin(r.ID, time.Now(), "worker-1", func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(r.ID); got.Worker != "worker-1" {
+		t.Errorf("Worker after Begin = %q, want worker-1", got.Worker)
+	}
+
+	// Park a waiter; it must survive the requeue and only release at the
+	// retry's terminal state.
+	got := make(chan run.Run, 1)
+	go func() {
+		w, err := s.Await(context.Background(), r.ID)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- w
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	q, err := s.Requeue(r.ID)
+	if err != nil {
+		t.Fatalf("Requeue(running): %v", err)
+	}
+	if q.State != run.StateQueued || q.Restarts != 1 {
+		t.Fatalf("Requeue = state %s restarts %d, want queued/1", q.State, q.Restarts)
+	}
+	if q.Worker != "" || q.DispatchedAt != nil || q.StartedAt != nil || q.Error != "" || q.Result != nil {
+		t.Errorf("Requeue left execution fields set: %+v", q)
+	}
+	if q.Spec.Tenant != "conformance-tenant" || q.Spec.Priority != 2 {
+		t.Errorf("Requeue lost attribution: %q/%d", q.Spec.Tenant, q.Spec.Priority)
+	}
+	select {
+	case w := <-got:
+		t.Fatalf("Await released by Requeue with state %s; must wait for the retry", w.State)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// The retry runs to completion on another worker; the waiter releases
+	// with the terminal snapshot and the retry's attribution.
+	if _, err := s.Begin(r.ID, time.Now(), "worker-2", func() {}); err != nil {
+		t.Fatalf("Begin(retry): %v", err)
+	}
+	f := finish(t, s, r.ID, &run.Result{Match: true}, nil)
+	if f.Worker != "worker-2" || f.Restarts != 1 {
+		t.Errorf("terminal snapshot worker/restarts = %q/%d, want worker-2/1", f.Worker, f.Restarts)
+	}
+	select {
+	case w := <-got:
+		if w.State != run.StateSucceeded {
+			t.Errorf("released Await state = %s, want succeeded", w.State)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Await never released after the retry finished")
+	}
+
+	if _, err := s.Requeue(r.ID); !errors.Is(err, run.ErrNotRunning) {
+		t.Errorf("Requeue(terminal) = %v, want ErrNotRunning", err)
 	}
 }
 

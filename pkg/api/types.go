@@ -94,11 +94,16 @@ type Run struct {
 	// spec no longer describes the executed graph and must not be
 	// resubmitted as-is.
 	SpecRedacted bool `json:"spec_redacted,omitempty"`
-	// Restarts counts how many times a durable (WAL-backed) server
-	// re-admitted this run to its queue after a restart interrupted it.
+	// Restarts counts how many times the server re-admitted this run to
+	// its queue after an interruption: a durable (WAL-backed) server
+	// restart, or — in distributed mode — a worker lease that expired
+	// after missed heartbeats.
 	Restarts int     `json:"restarts,omitempty"`
 	Error    string  `json:"error,omitempty"`
 	Result   *Result `json:"result,omitempty"`
+	// Worker is the ID of the fleet worker the run last executed on.
+	// Empty when the server executes runs embedded (no -fleet-addr).
+	Worker string `json:"worker,omitempty"`
 	// Lifecycle timestamps, each stamped when the run crosses the matching
 	// transition: CreatedAt at admission, DispatchedAt when a dispatcher
 	// popped it off the queue, StartedAt when the queued→running transition
