@@ -9,6 +9,9 @@
 //	dagbench -nodes 1000 -p 0.01 -workers 8
 //	dagbench -type pipeline -stages 200 -width 4 -work 1000
 //	dagbench -type explicit -nodes 4 -edges '[[0,1],[0,2],[1,3],[2,3]]'
+//	dagbench -type chain -nodes 1000000
+//	dagbench -type dynamic -stages 10 -width 3 -p 0.2 -seed 7
+//	dagbench -type pipeline -stages 50 -width 2 -work 100000 -parallel-work
 //	dagbench -workload hashchain -nodes 2000 -p 0.01
 //	dagbench -list-workloads
 package main
@@ -29,25 +32,27 @@ import (
 // report is the JSON output printed per run: the spec knobs followed by
 // the measured result (match, sink paths, timings, speedup).
 type report struct {
-	Shape    string  `json:"shape"`
-	EdgeProb float64 `json:"edge_prob,omitempty"`
-	Stages   int     `json:"stages,omitempty"`
-	Width    int     `json:"width,omitempty"`
-	Seed     int64   `json:"seed"`
-	Work     int     `json:"work"`
+	Shape        string  `json:"shape"`
+	EdgeProb     float64 `json:"edge_prob,omitempty"`
+	Stages       int     `json:"stages,omitempty"`
+	Width        int     `json:"width,omitempty"`
+	Seed         int64   `json:"seed"`
+	Work         int     `json:"work"`
+	ParallelWork bool    `json:"parallel_work,omitempty"`
 	core.RunResult
 }
 
 func main() {
 	var (
-		shapeFlag = flag.String("type", "random", "dag shape: random, pipeline, or explicit")
-		nodes     = flag.Int("nodes", 1000, "node count (random/explicit shapes)")
-		p         = flag.Float64("p", 0.01, "forward-edge probability (random shape)")
-		stages    = flag.Int("stages", 100, "pipeline depth (pipeline shape)")
-		width     = flag.Int("width", 4, "pipeline width (pipeline shape)")
+		shapeFlag = flag.String("type", "random", "dag shape: random, pipeline, explicit, chain, or dynamic")
+		nodes     = flag.Int("nodes", 1000, "node count (random/explicit/chain shapes)")
+		p         = flag.Float64("p", 0.01, "forward-edge probability (random); cross-parent probability (dynamic)")
+		stages    = flag.Int("stages", 100, "pipeline depth (pipeline); expansion depth (dynamic)")
+		width     = flag.Int("width", 4, "pipeline width (pipeline); max branching (dynamic)")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		edges     = flag.String("edges", "", `explicit edge list as JSON, e.g. [[0,1],[1,2]] (explicit shape)`)
 		work      = flag.Int("work", 0, "busy-work iterations per node (Nabbit W)")
+		parallel  = flag.Bool("parallel-work", false, "split each node's work across idle workers (Nabbit UseParallelNodes)")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
 		workload  = flag.String("workload", "", "registered workload name (empty = "+core.DefaultWorkload+")")
 		list      = flag.Bool("list-workloads", false, "print registered workload names and exit")
@@ -62,13 +67,13 @@ func main() {
 		return
 	}
 
-	if err := run(*shapeFlag, *workload, *edges, *nodes, *p, *stages, *width, *seed, *work, *workers, *timeout); err != nil {
+	if err := run(*shapeFlag, *workload, *edges, *nodes, *p, *stages, *width, *seed, *work, *workers, *parallel, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "dagbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(shapeFlag, workload, edgesJSON string, nodes int, p float64, stages, width int, seed int64, work, workers int, timeout time.Duration) error {
+func run(shapeFlag, workload, edgesJSON string, nodes int, p float64, stages, width int, seed int64, work, workers int, parallelWork bool, timeout time.Duration) error {
 	shape, err := core.ParseShape(shapeFlag)
 	if err != nil {
 		return err
@@ -89,6 +94,11 @@ func run(shapeFlag, workload, edgesJSON string, nodes int, p float64, stages, wi
 		// an edgeless graph; an explicitly empty list ('[]') is still legal.
 		return fmt.Errorf("-type explicit requires -edges (pass '[]' for an edgeless graph)")
 	}
+	if shape == core.DynamicShape {
+		// The dynamic expander grows the graph itself; a node count is not a
+		// spec knob there (MaxNodes is enforced as a growth bound at runtime).
+		nodes = 0
+	}
 	spec := core.RunSpec{
 		Config: core.GenConfig{
 			Shape:    shape,
@@ -99,9 +109,10 @@ func run(shapeFlag, workload, edgesJSON string, nodes int, p float64, stages, wi
 			Seed:     seed,
 			Edges:    edges,
 		},
-		Workload: workload,
-		Work:     work,
-		Workers:  workers,
+		Workload:     workload,
+		Work:         work,
+		Workers:      workers,
+		ParallelWork: parallelWork,
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
@@ -113,10 +124,11 @@ func run(shapeFlag, workload, edgesJSON string, nodes int, p float64, stages, wi
 	}
 
 	rep := report{
-		Shape:     shape.String(),
-		Seed:      seed,
-		Work:      work,
-		RunResult: *res,
+		Shape:        shape.String(),
+		Seed:         seed,
+		Work:         work,
+		ParallelWork: parallelWork,
+		RunResult:    *res,
 	}
 	switch shape {
 	case core.RandomShape:
@@ -124,8 +136,12 @@ func run(shapeFlag, workload, edgesJSON string, nodes int, p float64, stages, wi
 	case core.PipelineShape:
 		rep.Stages = stages
 		rep.Width = width
-	case core.ExplicitShape:
-		rep.Seed = 0 // explicit graphs involve no randomness
+	case core.ExplicitShape, core.ChainShape:
+		rep.Seed = 0 // explicit and chain graphs involve no randomness
+	case core.DynamicShape:
+		rep.EdgeProb = p
+		rep.Stages = stages
+		rep.Width = width
 	}
 
 	enc := json.NewEncoder(os.Stdout)

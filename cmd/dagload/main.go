@@ -32,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
@@ -58,18 +59,21 @@ type LatencySummary struct {
 type Report struct {
 	GeneratedAt string `json:"generated_at"`
 	Config      struct {
-		Base      string   `json:"base"`
-		RPS       float64  `json:"rps"`
-		Duration  string   `json:"duration"`
-		Seed      int64    `json:"seed"`
-		Workloads []string `json:"workloads"`
-		Shapes    []string `json:"shapes"`
-		Tenants   []string `json:"tenants,omitempty"`
-		Work      int      `json:"work"`
-		Nodes     int      `json:"nodes"`
-		EdgeProb  float64  `json:"p"`
-		Stages    int      `json:"stages"`
-		Width     int      `json:"width"`
+		Base       string   `json:"base"`
+		RPS        float64  `json:"rps"`
+		Duration   string   `json:"duration"`
+		Seed       int64    `json:"seed"`
+		Workloads  []string `json:"workloads"`
+		Shapes     []string `json:"shapes"`
+		Tenants    []string `json:"tenants,omitempty"`
+		Work       int      `json:"work"`
+		Nodes      int      `json:"nodes"`
+		EdgeProb   float64  `json:"p"`
+		Stages     int      `json:"stages"`
+		Width      int      `json:"width"`
+		ChainNodes int      `json:"chain_nodes,omitempty"`
+		DynStages  int      `json:"dyn_stages,omitempty"`
+		DynWidth   int      `json:"dyn_width,omitempty"`
 	} `json:"config"`
 
 	Offered     int     `json:"offered"`      // submissions attempted
@@ -114,13 +118,16 @@ func main() {
 		duration   = flag.Duration("duration", 10*time.Second, "load window; in-flight runs are still drained afterwards")
 		seed       = flag.Int64("seed", 1, "seed for the workload/shape/tenant mix (fixes the submission sequence)")
 		workloads  = flag.String("workloads", "pathcount,hashchain,longestpath", "comma-separated workload mix")
-		shapes     = flag.String("shapes", "pipeline,random", "comma-separated shape mix (pipeline, random)")
+		shapes     = flag.String("shapes", "pipeline,random", "comma-separated shape mix (pipeline, random, chain, dynamic)")
 		tenantsCSV = flag.String("tenants", "", "comma-separated tenants to round through via X-Tenant; empty = default tenant only")
 		work       = flag.Int("work", 50, "busy-work iterations per node")
 		nodes      = flag.Int("nodes", 200, "node count for random-shape runs")
 		edgeProb   = flag.Float64("p", 0.02, "forward-edge probability for random-shape runs")
 		stages     = flag.Int("stages", 50, "pipeline depth for pipeline-shape runs")
 		width      = flag.Int("width", 4, "pipeline width for pipeline-shape runs")
+		chainNodes = flag.Int("chain-nodes", 100000, "node count for chain-shape (deep-span) runs")
+		dynStages  = flag.Int("dyn-stages", 8, "expansion depth for dynamic-shape runs")
+		dynWidth   = flag.Int("dyn-width", 2, "max branching factor for dynamic-shape runs")
 		waitBudget = flag.Duration("wait", 60*time.Second, "per-run budget to observe a terminal state after the load window closes")
 		out        = flag.String("out", "", "write the JSON report here instead of stdout")
 		p99Ceiling = flag.Duration("p99-ceiling", 0, "exit non-zero if p99 submit-to-terminal latency exceeds this (0 = no gate)")
@@ -139,8 +146,10 @@ func main() {
 		os.Exit(2)
 	}
 	for _, s := range shs {
-		if s != api.ShapePipeline && s != api.ShapeRandom {
-			fmt.Fprintf(os.Stderr, "dagload: unsupported shape %q (want pipeline or random)\n", s)
+		switch s {
+		case api.ShapePipeline, api.ShapeRandom, api.ShapeChain, api.ShapeDynamic:
+		default:
+			fmt.Fprintf(os.Stderr, "dagload: unsupported shape %q (want pipeline, random, chain, or dynamic)\n", s)
 			os.Exit(2)
 		}
 	}
@@ -177,6 +186,12 @@ func main() {
 			spec.Shape, spec.Stages, spec.Width = api.ShapePipeline, *stages, *width
 		case api.ShapeRandom:
 			spec.Shape, spec.Nodes, spec.EdgeProb = api.ShapeRandom, *nodes, *edgeProb
+			spec.Seed = rng.Int63n(1 << 30)
+		case api.ShapeChain:
+			spec.Shape, spec.Nodes = api.ShapeChain, *chainNodes
+		case api.ShapeDynamic:
+			spec.Shape, spec.Stages, spec.Width = api.ShapeDynamic, *dynStages, *dynWidth
+			spec.EdgeProb = 0.2
 			spec.Seed = rng.Int63n(1 << 30)
 		}
 		picks[i] = pick{spec: spec, c: clients[rng.Intn(len(clients))]}
@@ -219,6 +234,9 @@ func main() {
 	rep.Config.EdgeProb = *edgeProb
 	rep.Config.Stages = *stages
 	rep.Config.Width = *width
+	rep.Config.ChainNodes = *chainNodes
+	rep.Config.DynStages = *dynStages
+	rep.Config.DynWidth = *dynWidth
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -340,9 +358,13 @@ func summarize(ms []float64) LatencySummary {
 	return s
 }
 
-// percentile is the nearest-rank percentile of a sorted sample.
+// percentile is the nearest-rank percentile of a sorted sample: the value
+// at 1-based rank ceil(q·n). Rounding q·n half-up instead (the previous
+// implementation) lands one rank low whenever q·n has a fractional part
+// below 0.5 — p95 of 31 samples read rank 29 instead of rank 30 —
+// systematically understating tail latency.
 func percentile(sorted []float64, q float64) float64 {
-	idx := int(q*float64(len(sorted))+0.5) - 1
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+// TestPercentileNearestRank pins the nearest-rank definition: the q-th
+// percentile of n sorted samples is the element at 1-based rank ⌈q·n⌉.
+//
+// The regression case is p95 of 31 samples: q·n = 29.45, so the correct
+// rank is ⌈29.45⌉ = 30. The old implementation computed int(q·n+0.5)-1 =
+// int(29.95)-1 = 28 (rank 29), systematically understating tail latencies
+// whenever frac(q·n) < 0.5.
+func TestPercentileNearestRank(t *testing.T) {
+	// sorted[i] = rank i+1, so the expected value IS the expected rank.
+	ranks := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = float64(i + 1)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		n    int
+		q    float64
+		want float64 // 1-based rank = ⌈q·n⌉
+	}{
+		{"p95 of 31 (regression: old code said 29)", 31, 0.95, 30},
+		{"p50 of 31 (q*n=15.5, old code said 16 too — integral+0.5 rounds up)", 31, 0.50, 16},
+		{"p50 of 10 (q*n=5.0 exact)", 10, 0.50, 5},
+		{"p99 of 200 (q*n=198 exact)", 200, 0.99, 198},
+		{"p99 of 10 (q*n=9.9, old code said 10 via rounding — agrees)", 10, 0.99, 10},
+		{"p95 of 10 (q*n=9.5)", 10, 0.95, 10},
+		{"p99 of 101 (q*n=99.99... → 100; old int(100.49)-1=99 rank 100 agrees)", 101, 0.99, 100},
+		{"p95 of 33 (q*n=31.35 → rank 32; old said 31)", 33, 0.95, 32},
+		{"p50 of 1", 1, 0.50, 1},
+		{"p0 clamps to first", 5, 0, 1},
+		{"p100 of 7", 7, 1.0, 7},
+	}
+	for _, tc := range cases {
+		if got := percentile(ranks(tc.n), tc.q); got != tc.want {
+			t.Errorf("%s: percentile(n=%d, q=%v) = rank %v, want rank %v", tc.name, tc.n, tc.q, got, tc.want)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 // Command dagsmoke is the CI smoke test for a running dagd: it exercises
 // the v1 API end to end through the typed client (pkg/client) — submit an
 // explicit and a generated run per registered workload, long-poll each to
-// succeeded, check the serial self-check matched, verify admission
-// rejections decode to the right sentinel errors, and walk pagination.
+// succeeded, check the serial self-check matched, drive the scenario shapes
+// (deep-span chain, parallel-node work, dynamic expansion and its growth
+// bound, the pipeline-cap overflow rejection), verify admission rejections
+// decode to the right sentinel errors, and walk pagination.
 // The run is split into named phases, each individually timed; on failure
 // the exit message names the failing phase ("FAIL phase=<name>") so the CI
 // log points at the broken layer without spelunking, and a passing run
@@ -68,6 +70,7 @@ func main() {
 	phases := []phase{
 		{"workloads", sm.phaseWorkloads},
 		{"runs", sm.phaseRuns},
+		{"scenarios", sm.phaseScenarios},
 		{"rejections", sm.phaseRejections},
 		{"pagination", sm.phasePagination},
 	}
@@ -152,6 +155,70 @@ func (sm *smoke) phaseRuns(ctx context.Context) error {
 				name, r.Spec.Shape, r.ID, r.Result.Nodes, r.Result.Edges, r.Result.Match)
 		}
 	}
+	return nil
+}
+
+// phaseScenarios covers the Nabbit scenario shapes end to end: a deep-span
+// chain (≥500k nodes through the iterative scheduler), a pipeline with
+// parallel_work splitting node work across workers, and a dynamic DAG
+// discovered at runtime — each must verify against its serial reference.
+// It also pins two admission/runtime guards: a dynamic spec whose expansion
+// exceeds MaxNodes must fail closed at the growth bound (a stored run in
+// state failed, not a hang or a partial result), and the pipeline-cap
+// overflow spec (stages·width wrapping negative) must be rejected with
+// invalid_spec instead of bypassing admission.
+func (sm *smoke) phaseScenarios(ctx context.Context) error {
+	c := sm.c
+	cases := []struct {
+		name     string
+		spec     api.RunSpec
+		minDepth int
+	}{
+		{"deep-chain", api.RunSpec{Shape: api.ShapeChain, Nodes: 500001}, 500000},
+		{"parallel-work", api.RunSpec{Shape: api.ShapePipeline, Stages: 10, Width: 2, Work: 65536, ParallelWork: true, Workload: "hashchain"}, 0},
+		{"dynamic", api.RunSpec{Shape: api.ShapeDynamic, Stages: 8, Width: 3, EdgeProb: 0.3, Seed: 11}, 8},
+	}
+	for _, tc := range cases {
+		r, err := c.Submit(ctx, tc.spec)
+		if err != nil {
+			return fmt.Errorf("%s: submit: %w", tc.name, err)
+		}
+		sm.submitted++
+		if r, err = c.Wait(ctx, r.ID); err != nil {
+			return fmt.Errorf("%s: waiting on %s: %w", tc.name, r.ID, err)
+		}
+		if r.State != api.StateSucceeded || r.Result == nil || !r.Result.Match {
+			return fmt.Errorf("%s: run %s ended %s (error %q, result %+v), want succeeded with match",
+				tc.name, r.ID, r.State, r.Error, r.Result)
+		}
+		if r.Result.Depth < tc.minDepth {
+			return fmt.Errorf("%s: run %s depth %d, want >= %d", tc.name, r.ID, r.Result.Depth, tc.minDepth)
+		}
+		fmt.Printf("dagsmoke: scenario %s run %s succeeded (nodes=%d edges=%d depth=%d)\n",
+			tc.name, r.ID, r.Result.Nodes, r.Result.Edges, r.Result.Depth)
+	}
+
+	// Dynamic expansion past MaxNodes fails closed at the growth bound.
+	over, err := c.Submit(ctx, api.RunSpec{Shape: api.ShapeDynamic, Stages: 20, Width: 4, Seed: 7})
+	if err != nil {
+		return fmt.Errorf("over-cap dynamic: submit: %w", err)
+	}
+	sm.submitted++
+	if over, err = c.Wait(ctx, over.ID); err != nil {
+		return fmt.Errorf("over-cap dynamic: waiting on %s: %w", over.ID, err)
+	}
+	if over.State != api.StateFailed {
+		return fmt.Errorf("over-cap dynamic run %s ended %s, want failed at the growth bound", over.ID, over.State)
+	}
+	fmt.Printf("dagsmoke: over-cap dynamic run %s failed closed (%q)\n", over.ID, over.Error)
+
+	// The admission-bypass regression: stages·width = 3037000500² wraps
+	// negative in int64, so the unpatched cap check admitted it.
+	_, err = c.Submit(ctx, api.RunSpec{Shape: api.ShapePipeline, Stages: 3037000500, Width: 3037000500})
+	if !errors.Is(err, api.ErrInvalidSpec) {
+		return fmt.Errorf("overflow pipeline spec: got %v, want api.ErrInvalidSpec", err)
+	}
+	fmt.Println("dagsmoke: overflow pipeline spec rejected with invalid_spec")
 	return nil
 }
 

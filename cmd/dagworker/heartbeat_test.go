@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/fleet"
+)
+
+// TestHeartbeatCadenceUnderSlowCoordinator is the lease-liveness regression
+// test: the old loop slept time.After(interval) AFTER each RPC returned, so
+// the effective period was interval + round-trip. With the interval pinned
+// near the enforced TTL/2 bound, a slow coordinator pushed consecutive
+// heartbeats past the lease TTL and live runs were swept mid-flight.
+//
+// The coordinator here answers each heartbeat only after a delay equal to
+// the full interval. Post-fix (time.Ticker) the inter-arrival gap stays at
+// max(interval, round-trip) ≈ 150ms; pre-fix it was interval + delay =
+// 300ms. The 240ms assertion bound plays the role of the lease TTL.
+func TestHeartbeatCadenceUnderSlowCoordinator(t *testing.T) {
+	const (
+		interval = 150 * time.Millisecond
+		delay    = 150 * time.Millisecond
+		maxGap   = 240 * time.Millisecond
+	)
+	var (
+		mu       sync.Mutex
+		arrivals []time.Time
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/fleet/v1/heartbeat" {
+			http.NotFound(w, r)
+			return
+		}
+		mu.Lock()
+		arrivals = append(arrivals, time.Now())
+		mu.Unlock()
+		time.Sleep(delay) // the slow coordinator
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(fleet.HeartbeatResponse{})
+	}))
+	defer ts.Close()
+
+	w := &worker{
+		client:    fleet.NewClient(ts.URL),
+		name:      "hb-test",
+		capacity:  1,
+		id:        "hb-test-0001",
+		heartbeat: interval,
+		running:   make(map[string]*task),
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go w.heartbeatLoop(stop, done)
+	time.Sleep(8*interval + interval/2)
+	close(stop)
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(arrivals) < 5 {
+		t.Fatalf("only %d heartbeats arrived in %v at a %v cadence (period is not the interval)",
+			len(arrivals), 8*interval+interval/2, interval)
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if gap := arrivals[i].Sub(arrivals[i-1]); gap > maxGap {
+			t.Errorf("heartbeat gap %d→%d = %v, want <= %v (slow coordinator must not stretch the period)",
+				i-1, i, gap, maxGap)
+		}
+	}
+}

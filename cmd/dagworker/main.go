@@ -46,6 +46,7 @@ func main() {
 		name        = flag.String("name", "", "worker name, the prefix of the coordinator-assigned worker ID (empty = hostname)")
 		capacity    = flag.Int("capacity", 1, "runs executed concurrently")
 		workloads   = flag.String("workloads", "", "comma-separated workloads this worker accepts (empty = all registered)")
+		shapes      = flag.String("shapes", "", "comma-separated DAG shapes this worker accepts, e.g. random,chain,dynamic (empty = all)")
 		runWorkers  = flag.Int("run-workers", 0, "default scheduler pool size per run (0 = NumCPU)")
 	)
 	flag.Parse()
@@ -63,6 +64,17 @@ func main() {
 				os.Exit(2)
 			}
 			accepts = append(accepts, wl)
+		}
+	}
+	var acceptShapes []string
+	if *shapes != "" {
+		for _, sh := range strings.Split(*shapes, ",") {
+			sh = strings.TrimSpace(sh)
+			if _, err := core.ParseShape(sh); err != nil {
+				fmt.Fprintln(os.Stderr, "dagworker:", err)
+				os.Exit(2)
+			}
+			acceptShapes = append(acceptShapes, sh)
 		}
 	}
 	if *name == "" {
@@ -84,6 +96,7 @@ func main() {
 		name:       *name,
 		capacity:   *capacity,
 		workloads:  accepts,
+		shapes:     acceptShapes,
 		runWorkers: *runWorkers,
 		running:    make(map[string]*task),
 	}
@@ -108,6 +121,7 @@ type worker struct {
 	name       string
 	capacity   int
 	workloads  []string
+	shapes     []string
 	runWorkers int
 
 	mu        sync.Mutex
@@ -203,6 +217,18 @@ func (w *worker) currentID() string {
 	return w.id
 }
 
+// interval is the heartbeat cadence the coordinator announced, falling back
+// to the fleet default before registration completes.
+func (w *worker) interval() time.Duration {
+	w.mu.Lock()
+	ivl := w.heartbeat
+	w.mu.Unlock()
+	if ivl <= 0 {
+		ivl = fleet.DefaultHeartbeatInterval
+	}
+	return ivl
+}
+
 func (w *worker) snapshotRunning() []string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -223,6 +249,7 @@ func (w *worker) register(ctx context.Context) error {
 			Name:      w.name,
 			Capacity:  w.capacity,
 			Workloads: w.workloads,
+			Shapes:    w.shapes,
 		})
 		cancel()
 		if err == nil {
@@ -279,19 +306,30 @@ func (w *worker) reregister(ctx context.Context, staleID string) error {
 // the coordinator announced, and applies the coordinator's verdicts:
 // cancellations abort the run (it reports cancelled), lost leases abort it
 // silently (the result is discarded).
+//
+// The cadence comes from a Ticker, NOT a sleep after each RPC: sleeping
+// time.After(ivl) once the RPC completes makes the effective period
+// ivl + round-trip, and with ivl near the enforced TTL/2 bound a slow
+// coordinator pushed the gap past the lease TTL — a live run got swept and
+// redispatched mid-flight. A ticker keeps the period fixed regardless of
+// RPC latency (if one round-trip overruns the interval, the next tick is
+// already pending and fires immediately, so the gap is bounded by
+// max(interval, round-trip), never their sum).
 func (w *worker) heartbeatLoop(stop, done chan struct{}) {
 	defer close(done)
+	ivl := w.interval()
+	ticker := time.NewTicker(ivl)
+	defer ticker.Stop()
 	for {
-		w.mu.Lock()
-		ivl := w.heartbeat
-		w.mu.Unlock()
-		if ivl <= 0 {
-			ivl = fleet.DefaultHeartbeatInterval
-		}
 		select {
 		case <-stop:
 			return
-		case <-time.After(ivl):
+		case <-ticker.C:
+		}
+		// Re-registration may have changed the announced cadence.
+		if cur := w.interval(); cur != ivl {
+			ivl = cur
+			ticker.Reset(ivl)
 		}
 		workerID := w.currentID()
 		if workerID == "" {

@@ -1,0 +1,112 @@
+package e2e
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/pkg/api"
+)
+
+// slowDynamicSpec expands to a few thousand nodes with enough per-node work
+// (on two workers) that a SIGKILL issued after observing it running always
+// lands mid-flight — the dynamic analogue of slowSpec.
+func slowDynamicSpec() api.RunSpec {
+	return api.RunSpec{Shape: api.ShapeDynamic, Stages: 12, Width: 3, EdgeProb: 0.2, Seed: 31, Work: 60000, Workers: 2}
+}
+
+// TestScenarioShapesThroughDagd drives one run per new scenario shape/knob
+// through a real dagd binary: a ≥500k-deep chain, a parallel_work pipeline,
+// and a dynamic run, all of which must verify end to end.
+func TestScenarioShapesThroughDagd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e test builds and runs a real process")
+	}
+	bin := buildDagd(t)
+	p := startDagd(t, bin, t.TempDir(), "-dispatchers", "2")
+	ctx := context.Background()
+
+	cases := []struct {
+		name     string
+		spec     api.RunSpec
+		minDepth int
+	}{
+		{"deep chain", api.RunSpec{Shape: api.ShapeChain, Nodes: 500001}, 500000},
+		{"parallel work", api.RunSpec{Shape: api.ShapePipeline, Stages: 10, Width: 2, Work: 65536, ParallelWork: true, Workload: "hashchain"}, 0},
+		{"dynamic", api.RunSpec{Shape: api.ShapeDynamic, Stages: 8, Width: 3, EdgeProb: 0.3, Seed: 11}, 8},
+	}
+	for _, tc := range cases {
+		r, err := p.c.Submit(ctx, tc.spec)
+		if err != nil {
+			t.Fatalf("%s: Submit: %v", tc.name, err)
+		}
+		wctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+		fin, err := p.c.Wait(wctx, r.ID)
+		cancel()
+		if err != nil {
+			t.Fatalf("%s: Wait: %v", tc.name, err)
+		}
+		if fin.State != api.StateSucceeded || fin.Result == nil || !fin.Result.Match {
+			t.Fatalf("%s: finished as %+v, want succeeded with matching result", tc.name, fin)
+		}
+		if fin.Result.Depth < tc.minDepth {
+			t.Errorf("%s: depth = %d, want >= %d", tc.name, fin.Result.Depth, tc.minDepth)
+		}
+	}
+
+	// A dynamic run whose expansion exceeds the node cap fails closed.
+	over, err := p.c.Submit(ctx, api.RunSpec{Shape: api.ShapeDynamic, Stages: 20, Width: 4, Seed: 7})
+	if err != nil {
+		t.Fatalf("Submit(over-cap dynamic): %v", err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	fin, err := p.c.Wait(wctx, over.ID)
+	cancel()
+	if err != nil {
+		t.Fatalf("Wait(over-cap dynamic): %v", err)
+	}
+	if fin.State != api.StateFailed {
+		t.Fatalf("over-cap dynamic run = %s, want failed at the growth bound", fin.State)
+	}
+	p.stop(t)
+}
+
+// TestDynamicCrashRecovery is the WAL satellite: SIGKILL dagd while a
+// dynamic run is mid-expansion, restart on the same data dir, and require
+// the run to be re-admitted and driven to a verified completion (the
+// expansion is deterministic, so the re-executed graph is the same one).
+func TestDynamicCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e restart test builds and kills real processes")
+	}
+	bin := buildDagd(t)
+	dataDir := t.TempDir()
+	ctx := context.Background()
+
+	p1 := startDagd(t, bin, dataDir)
+	slow, err := p1.c.Submit(ctx, slowDynamicSpec())
+	if err != nil {
+		t.Fatalf("Submit(slow dynamic): %v", err)
+	}
+	waitState(t, p1.c, slow.ID, api.StateRunning)
+	p1.sigkill(t)
+
+	p2 := startDagd(t, bin, dataDir)
+	got, err := p2.c.Get(ctx, slow.ID)
+	if err != nil {
+		t.Fatalf("Get after restart: %v", err)
+	}
+	if got.Restarts < 1 {
+		t.Errorf("interrupted dynamic run has Restarts = %d, want >= 1", got.Restarts)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	fin, err := p2.c.Wait(wctx, slow.ID)
+	cancel()
+	if err != nil {
+		t.Fatalf("Wait(recovered dynamic): %v", err)
+	}
+	if fin.State != api.StateSucceeded || fin.Result == nil || !fin.Result.Match {
+		t.Fatalf("recovered dynamic run finished as %+v, want succeeded with matching result", fin)
+	}
+	p2.stop(t)
+}

@@ -36,9 +36,12 @@ const (
 	RandomShape   = gen.Random
 	PipelineShape = gen.Pipeline
 	ExplicitShape = gen.Explicit
+	ChainShape    = gen.Chain
+	DynamicShape  = gen.Dynamic
 )
 
-// ParseShape converts a CLI string ("random" or "pipeline") to a Shape.
+// ParseShape converts a CLI string ("random", "pipeline", "explicit",
+// "chain", or "dynamic") to a Shape.
 func ParseShape(s string) (Shape, error) { return gen.ParseShape(s) }
 
 // Generate builds a deterministic benchmark DAG from cfg.
@@ -54,6 +57,9 @@ func PipelineDAG(stages, width int) (*DAG, error) { return gen.PipelineDAG(stage
 // ExplicitDAG builds a DAG from a literal node count and edge list,
 // rejecting self-loops, duplicate/out-of-range edges, and cycles.
 func ExplicitDAG(n int, edges []Edge) (*DAG, error) { return gen.ExplicitDAG(n, edges) }
+
+// ChainDAG generates an n-node path graph — the deep-span scenario shape.
+func ChainDAG(n int) (*DAG, error) { return gen.ChainDAG(n) }
 
 // Scheduler re-exports.
 type (

@@ -63,15 +63,41 @@ func (b *Builder) NumEdges() int { return len(b.edges) }
 // algorithm to compute a topological order and returns an error wrapping
 // ErrCycle if any cycle exists.
 func (b *Builder) Build() (*DAG, error) {
-	d := &DAG{
-		n:      b.n,
-		adj:    make([][]NodeID, b.n),
-		radj:   make([][]NodeID, b.n),
-		indeg:  make([]int, b.n),
-		outdeg: make([]int, b.n),
-		nEdges: len(b.edges),
+	return freeze(b.n, b.edges)
+}
+
+// FromEdges freezes a graph directly from a prepared edge list, skipping
+// Builder's per-edge duplicate map. It exists for trusted generators (deep
+// chains near the node cap) where the dedupe map would dominate build cost;
+// endpoints are still bounds-checked, self-loops still rejected, and the
+// Kahn pass still rejects cycles. Callers must guarantee edges are
+// distinct — duplicates would silently skew in-degrees.
+func FromEdges(n int, edges [][2]NodeID) (*DAG, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dag: negative node count %d", n)
 	}
-	for _, e := range b.edges {
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("dag: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("dag: self-loop on node %d: %w", u, ErrCycle)
+		}
+	}
+	return freeze(n, edges)
+}
+
+func freeze(n int, edges [][2]NodeID) (*DAG, error) {
+	d := &DAG{
+		n:      n,
+		adj:    make([][]NodeID, n),
+		radj:   make([][]NodeID, n),
+		indeg:  make([]int, n),
+		outdeg: make([]int, n),
+		nEdges: len(edges),
+	}
+	for _, e := range edges {
 		u, v := e[0], e[1]
 		d.adj[u] = append(d.adj[u], v)
 		d.radj[v] = append(d.radj[v], u)

@@ -138,20 +138,23 @@ func (o Options) withDefaults() Options {
 
 // queued is one pending queue entry: the run's ID, when it entered the
 // queue (so pops can observe queue-wait and scrapes the oldest entry's
-// age), and its workload name so lease mode can match entries against a
-// worker's supported set without a store read per candidate.
+// age), and its workload name and DAG shape so lease mode can match
+// entries against a worker's advertised capabilities without a store read
+// per candidate.
 type queued struct {
 	id       string
 	at       time.Time
 	workload string
+	shape    string
 }
 
 // leaseEntry tracks one run handed to a remote worker: which tenant queue
-// owns its in-flight slot and the workload to re-stamp on the queue entry
-// if the lease expires. Guarded by the Dispatcher's mu.
+// owns its in-flight slot and the workload/shape to re-stamp on the queue
+// entry if the lease expires. Guarded by the Dispatcher's mu.
 type leaseEntry struct {
 	tq       *tenantQueue
 	workload string
+	shape    string
 }
 
 // tenantQueue is one tenant's scheduling state. All fields are guarded by
@@ -204,13 +207,14 @@ type priorityClass struct {
 // tenants must not bank bursts); a tenant at its in-flight cap is skipped
 // with its credit intact and resumes when capacity frees up.
 //
-// eligible, when non-nil, restricts the pick to entries whose workload it
-// accepts — lease mode passes the requesting worker's supported set. The
-// earliest eligible entry in the tenant's FIFO is served; a tenant whose
-// queued work is entirely ineligible is skipped with its credit intact,
-// exactly like an at-cap tenant (another worker may drain it). A nil
-// eligible reproduces the embedded pick byte for byte.
-func (cl *priorityClass) pick(eligible func(workload string) bool) (*tenantQueue, queued, bool) {
+// eligible, when non-nil, restricts the pick to entries whose workload and
+// DAG shape it accepts — lease mode passes the requesting worker's
+// advertised capabilities. The earliest eligible entry in the tenant's
+// FIFO is served; a tenant whose queued work is entirely ineligible is
+// skipped with its credit intact, exactly like an at-cap tenant (another
+// worker may drain it). A nil eligible reproduces the embedded pick byte
+// for byte.
+func (cl *priorityClass) pick(eligible func(workload, shape string) bool) (*tenantQueue, queued, bool) {
 	n := len(cl.order)
 	for i := 0; i < n; i++ {
 		tq := cl.order[cl.cursor]
@@ -227,7 +231,7 @@ func (cl *priorityClass) pick(eligible func(workload string) bool) (*tenantQueue
 		if eligible != nil {
 			j = -1
 			for k := range tq.queue {
-				if eligible(tq.queue[k].workload) {
+				if eligible(tq.queue[k].workload, tq.queue[k].shape) {
 					j = k
 					break
 				}
@@ -573,7 +577,7 @@ func (d *Dispatcher) Submit(spec run.Spec) (run.Run, error) {
 		d.met.rejections.With(cfg.Name, "shutting_down").Inc()
 		return run.Run{}, ErrShuttingDown
 	}
-	tq.queue = append(tq.queue, queued{id: r.ID, at: time.Now(), workload: spec.Workload})
+	tq.queue = append(tq.queue, queued{id: r.ID, at: time.Now(), workload: spec.Workload, shape: spec.Shape.String()})
 	tq.submitted++
 	d.cond.Signal()
 	d.mu.Unlock()
@@ -599,7 +603,7 @@ func (d *Dispatcher) Recover(runs []run.Run) int {
 	now := time.Now()
 	for _, r := range runs {
 		tq := d.queueForLocked(r.Spec.Tenant)
-		tq.queue = append(tq.queue, queued{id: r.ID, at: now, workload: r.Spec.Workload})
+		tq.queue = append(tq.queue, queued{id: r.ID, at: now, workload: r.Spec.Workload, shape: r.Spec.Shape.String()})
 		tq.submitted++
 		d.met.submits.With(tq.cfg.Name).Inc()
 	}

@@ -27,14 +27,14 @@ import (
 // ctx.Err() when the caller gives up waiting (long-poll deadline),
 // ErrShuttingDown once a drain has begun and the queues are empty.
 //
-// supports filters which queue entries this worker may take (nil accepts
-// everything); a tenant whose queued work is entirely unsupported is
-// skipped without losing its rotation credit. onCancel is the run's
-// cancel hook: the store invokes it (possibly under a store shard lock —
-// it must not call back into the dispatcher) when cancellation is
-// requested, and the fleet layer relays it to the worker on its next
-// heartbeat.
-func (d *Dispatcher) Lease(ctx context.Context, worker string, supports func(workload string) bool, onCancel func(id string)) (run.Run, error) {
+// supports filters which queue entries this worker may take, by workload
+// name and DAG shape (nil accepts everything); a tenant whose queued work
+// is entirely unsupported is skipped without losing its rotation credit.
+// onCancel is the run's cancel hook: the store invokes it (possibly under
+// a store shard lock — it must not call back into the dispatcher) when
+// cancellation is requested, and the fleet layer relays it to the worker
+// on its next heartbeat.
+func (d *Dispatcher) Lease(ctx context.Context, worker string, supports func(workload, shape string) bool, onCancel func(id string)) (run.Run, error) {
 	stop := context.AfterFunc(ctx, func() {
 		// Lock-step with the wait loop below so a cancellation arriving
 		// between the ctx.Err() check and cond.Wait() is never lost.
@@ -72,7 +72,7 @@ func (d *Dispatcher) Lease(ctx context.Context, worker string, supports func(wor
 			d.cond.Wait()
 		}
 		tq.inflight++
-		d.leased[picked.id] = &leaseEntry{tq: tq, workload: picked.workload}
+		d.leased[picked.id] = &leaseEntry{tq: tq, workload: picked.workload, shape: picked.shape}
 		now := time.Now()
 		d.met.queueWait.With(tq.cfg.Name).Observe(now.Sub(picked.at).Seconds())
 		d.mu.Unlock()
@@ -178,7 +178,7 @@ func (d *Dispatcher) ExpireLease(id string) (run.Run, error) {
 	}
 	d.mu.Lock()
 	le.tq.inflight--
-	le.tq.queue = append(le.tq.queue, queued{id: id, at: time.Now(), workload: le.workload})
+	le.tq.queue = append(le.tq.queue, queued{id: id, at: time.Now(), workload: le.workload, shape: le.shape})
 	d.cond.Broadcast()
 	d.mu.Unlock()
 	d.met.redispatched.With(r.Spec.Tenant).Inc()

@@ -164,7 +164,7 @@ func TestLeaseWorkloadFilter(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	r, err := d.Lease(ctx, "hc-only", func(w string) bool { return w == "hashchain" }, func(string) {})
+	r, err := d.Lease(ctx, "hc-only", func(w, _ string) bool { return w == "hashchain" }, func(string) {})
 	if err != nil {
 		t.Fatal(err)
 	}

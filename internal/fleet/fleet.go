@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dispatch"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/metrics"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/run"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/sched"
@@ -86,6 +87,7 @@ type worker struct {
 	name      string
 	capacity  int
 	workloads map[string]bool // nil/empty = every workload
+	shapes    map[string]bool // nil/empty = every DAG shape
 	expiresAt time.Time       // registration lapses without polls/heartbeats
 	leases    map[string]bool // run IDs currently leased to this worker
 	lost      []string        // expired leases not yet relayed on a heartbeat
@@ -185,9 +187,9 @@ func (m *Manager) Stats() Stats {
 }
 
 // register admits a worker and returns its unique ID. An unknown or empty
-// workload name is rejected so misconfigured workers fail loudly at boot
-// instead of idling forever with an unmatchable filter.
-func (m *Manager) register(name string, capacity int, workloads []string) (string, error) {
+// workload or shape name is rejected so misconfigured workers fail loudly
+// at boot instead of idling forever with an unmatchable filter.
+func (m *Manager) register(name string, capacity int, workloads, shapes []string) (string, error) {
 	if name == "" {
 		name = "worker"
 	}
@@ -207,6 +209,17 @@ func (m *Manager) register(name string, capacity int, workloads []string) (strin
 			set[w] = true
 		}
 	}
+	var shapeSet map[string]bool
+	if len(shapes) > 0 {
+		shapeSet = make(map[string]bool, len(shapes))
+		for _, s := range shapes {
+			sh, err := gen.ParseShape(s)
+			if err != nil {
+				return "", fmt.Errorf("unsupported shape %q", s)
+			}
+			shapeSet[sh.String()] = true
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.seq++
@@ -216,6 +229,7 @@ func (m *Manager) register(name string, capacity int, workloads []string) (strin
 		name:      name,
 		capacity:  capacity,
 		workloads: set,
+		shapes:    shapeSet,
 		expiresAt: time.Now().Add(m.opts.LeaseTTL),
 		leases:    make(map[string]bool),
 	}
@@ -303,18 +317,21 @@ func (m *Manager) acquire(ctx context.Context, workerID string) (run.Run, error)
 
 // supports returns the eligibility filter for the dispatcher's pick. Must
 // be called with mu held; the returned closure reads only immutable state.
-func (w *worker) supports() func(string) bool {
-	if len(w.workloads) == 0 {
+func (w *worker) supports() func(workload, shape string) bool {
+	if len(w.workloads) == 0 && len(w.shapes) == 0 {
 		return nil
 	}
-	set := w.workloads
-	return func(workload string) bool {
+	workloads, shapes := w.workloads, w.shapes
+	return func(workload, shape string) bool {
 		if workload == "" {
 			// Specs admitted before a default workload was stamped run the
 			// registry default.
 			workload = sched.DefaultWorkload
 		}
-		return set[workload]
+		if len(workloads) > 0 && !workloads[workload] {
+			return false
+		}
+		return len(shapes) == 0 || shapes[shape]
 	}
 }
 

@@ -382,3 +382,82 @@ func TestWorkloadFilteredLease(t *testing.T) {
 		t.Fatalf("hashchain worker leased %s, want %s", leased.ID, hc.ID)
 	}
 }
+
+// TestShapeFilteredLease verifies DAG-shape routing end to end over HTTP: a
+// worker advertising only the chain and dynamic shapes never receives a
+// pipeline run, and an unrestricted worker picks it up afterwards.
+func TestShapeFilteredLease(t *testing.T) {
+	h := newHarness(t, Options{})
+	resp, err := h.client.Register(context.Background(), RegisterRequest{
+		Name: "scenario", Shapes: []string{"chain", "dynamic"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.submit(t) // pipeline
+	chain, err := h.disp.Submit(run.Spec{Config: gen.Config{Shape: gen.Chain, Nodes: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leased, err := h.client.Lease(context.Background(), resp.WorkerID, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leased.ID != chain.ID {
+		t.Fatalf("shape-restricted worker leased %s, want chain run %s", leased.ID, chain.ID)
+	}
+	// The pipeline run is still there for an unrestricted worker.
+	anyResp := h.register(t, "any")
+	leased2, err := h.client.Lease(context.Background(), anyResp.WorkerID, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leased2.Spec.Shape != gen.Pipeline {
+		t.Fatalf("unrestricted worker leased shape %v, want pipeline", leased2.Spec.Shape)
+	}
+}
+
+// TestShapeAndWorkloadFiltersCompose pins that both filters must pass: a
+// worker restricted to hashchain AND chain takes neither a pathcount chain
+// run nor a hashchain pipeline run.
+func TestShapeAndWorkloadFiltersCompose(t *testing.T) {
+	h := newHarness(t, Options{})
+	resp, err := h.client.Register(context.Background(), RegisterRequest{
+		Name: "narrow", Workloads: []string{"hashchain"}, Shapes: []string{"chain"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.disp.Submit(run.Spec{Config: gen.Config{Shape: gen.Chain, Nodes: 10}}); err != nil {
+		t.Fatal(err) // pathcount chain: wrong workload
+	}
+	if _, err := h.disp.Submit(run.Spec{
+		Config: gen.Config{Shape: gen.Pipeline, Stages: 5, Width: 2}, Workload: "hashchain",
+	}); err != nil {
+		t.Fatal(err) // hashchain pipeline: wrong shape
+	}
+	if _, err := h.client.Lease(context.Background(), resp.WorkerID, 100*time.Millisecond); !errors.Is(err, ErrNoWork) {
+		t.Fatalf("Lease with no matching run = %v, want ErrNoWork", err)
+	}
+	match, err := h.disp.Submit(run.Spec{
+		Config: gen.Config{Shape: gen.Chain, Nodes: 10}, Workload: "hashchain",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leased, err := h.client.Lease(context.Background(), resp.WorkerID, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leased.ID != match.ID {
+		t.Fatalf("leased %s, want the hashchain chain run %s", leased.ID, match.ID)
+	}
+}
+
+func TestRegisterRejectsUnknownShape(t *testing.T) {
+	h := newHarness(t, Options{})
+	_, err := h.client.Register(context.Background(), RegisterRequest{Name: "w", Shapes: []string{"mobius"}})
+	if err == nil {
+		t.Fatal("Register with unknown shape succeeded")
+	}
+}

@@ -28,6 +28,7 @@ type RegisterRequest struct {
 	Name      string   `json:"name,omitempty"`
 	Capacity  int      `json:"capacity,omitempty"`
 	Workloads []string `json:"workloads,omitempty"` // empty = all registered workloads
+	Shapes    []string `json:"shapes,omitempty"`    // empty = all DAG shapes
 }
 
 // RegisterResponse carries the worker's identity and the coordinator's
@@ -125,7 +126,7 @@ func (m *Manager) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if !decodeInto(w, r, &req) {
 		return
 	}
-	id, err := m.register(req.Name, req.Capacity, req.Workloads)
+	id, err := m.register(req.Name, req.Capacity, req.Workloads, req.Shapes)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -1,0 +1,261 @@
+package gen
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
+)
+
+func TestChainDAGShape(t *testing.T) {
+	d, err := ChainDAG(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() != 5 || d.NumEdges() != 4 {
+		t.Fatalf("NumNodes/NumEdges = %d/%d, want 5/4", d.NumNodes(), d.NumEdges())
+	}
+	if d.Depth() != 4 {
+		t.Errorf("Depth = %d, want 4", d.Depth())
+	}
+	if got := len(d.Sources()); got != 1 {
+		t.Errorf("len(Sources) = %d, want 1", got)
+	}
+	if got := len(d.Sinks()); got != 1 {
+		t.Errorf("len(Sinks) = %d, want 1", got)
+	}
+	for v := 0; v < 4; v++ {
+		c := d.Children(dag.NodeID(v))
+		if len(c) != 1 || c[0] != dag.NodeID(v+1) {
+			t.Fatalf("Children(%d) = %v, want [%d]", v, c, v+1)
+		}
+	}
+	// A single node is a legal (edgeless) chain.
+	if d, err := ChainDAG(1); err != nil || d.NumNodes() != 1 || d.Depth() != 0 {
+		t.Errorf("ChainDAG(1) = %v, %v; want a 1-node depth-0 dag", d, err)
+	}
+	if _, err := ChainDAG(0); err == nil {
+		t.Error("ChainDAG(0) succeeded, want error")
+	}
+}
+
+// TestChainDAGDeep pins that chain construction stays linear and shallow in
+// memory at the spans the paper exercises (~1e6 nodes).
+func TestChainDAGDeep(t *testing.T) {
+	const n = 1 << 20
+	d, err := ChainDAG(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() != n || d.NumEdges() != n-1 {
+		t.Fatalf("NumNodes/NumEdges = %d/%d, want %d/%d", d.NumNodes(), d.NumEdges(), n, n-1)
+	}
+	if d.Depth() != n-1 {
+		t.Errorf("Depth = %d, want %d", d.Depth(), n-1)
+	}
+}
+
+func TestNewDynamicValidation(t *testing.T) {
+	base := Config{Shape: Dynamic, Stages: 4, Width: 2, EdgeProb: 0.3, Seed: 1}
+	if _, err := NewDynamic(base, DynLimits{}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Shape: Random, Nodes: 10, EdgeProb: 0.1},
+		{Shape: Dynamic, Stages: 0, Width: 2},
+		{Shape: Dynamic, Stages: 4, Width: 0},
+		{Shape: Dynamic, Stages: 4, Width: 2, EdgeProb: -0.1},
+		{Shape: Dynamic, Stages: 4, Width: 2, EdgeProb: 1.1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewDynamic(cfg, DynLimits{}); err == nil {
+			t.Errorf("NewDynamic(%+v) succeeded, want error", cfg)
+		}
+	}
+	// Generate must refuse the dynamic shape: it has no static graph.
+	if _, err := Generate(base); err == nil {
+		t.Error("Generate with dynamic shape succeeded, want error")
+	}
+}
+
+// expandAll walks the expander to exhaustion in the given visit order
+// (mimicking an arbitrary parallel execution order) and returns the visit
+// count. order permutes each discovery frontier before expanding it.
+func expandAll(t *testing.T, d *Dyn, order func([]dag.NodeID)) int {
+	t.Helper()
+	frontier := []dag.NodeID{0}
+	seen := 1
+	for len(frontier) > 0 {
+		order(frontier)
+		var next []dag.NodeID
+		visited := make(map[dag.NodeID]bool)
+		for _, u := range frontier {
+			children, err := d.Expand(u)
+			if err != nil {
+				t.Fatalf("Expand(%d): %v", u, err)
+			}
+			for _, c := range children {
+				if !visited[c] {
+					visited[c] = true
+					next = append(next, c)
+					seen++
+				}
+			}
+		}
+		frontier = next
+	}
+	return seen
+}
+
+// TestDynamicDeterministicAcrossOrders pins the core property run.Execute
+// relies on: the final graph is a pure function of the Config no matter
+// which order workers trigger expansions in.
+func TestDynamicDeterministicAcrossOrders(t *testing.T) {
+	cfg := Config{Shape: Dynamic, Stages: 6, Width: 3, EdgeProb: 0.4, Seed: 99}
+	shapes := make([]*dag.DAG, 3)
+	orders := []func([]dag.NodeID){
+		func([]dag.NodeID) {}, // discovery order
+		func(f []dag.NodeID) { // reversed
+			for i, j := 0, len(f)-1; i < j; i, j = i+1, j-1 {
+				f[i], f[j] = f[j], f[i]
+			}
+		},
+		func(f []dag.NodeID) { // shuffled
+			rand.New(rand.NewSource(7)).Shuffle(len(f), func(i, j int) { f[i], f[j] = f[j], f[i] })
+		},
+	}
+	for i, order := range orders {
+		d, err := NewDynamic(cfg, DynLimits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		expandAll(t, d, order)
+		fin, err := d.FinalDAG()
+		if err != nil {
+			t.Fatalf("order %d: FinalDAG: %v", i, err)
+		}
+		shapes[i] = fin
+	}
+	for i := 1; i < len(shapes); i++ {
+		if shapes[i].NumNodes() != shapes[0].NumNodes() || shapes[i].NumEdges() != shapes[0].NumEdges() {
+			t.Fatalf("order %d: %d nodes/%d edges, order 0: %d/%d", i,
+				shapes[i].NumNodes(), shapes[i].NumEdges(), shapes[0].NumNodes(), shapes[0].NumEdges())
+		}
+		if !sameChildren(shapes[0], shapes[i]) {
+			t.Fatalf("order %d produced a different graph than discovery order", i)
+		}
+	}
+}
+
+// TestDynamicFinalDAGParentOrder pins that the frozen graph's Parents(v)
+// matches the expander's element for element: order-sensitive workloads
+// (hashchain) fold parent values in radj order, so a mismatch would make
+// serial verification fail on correct executions.
+func TestDynamicFinalDAGParentOrder(t *testing.T) {
+	cfg := Config{Shape: Dynamic, Stages: 5, Width: 4, EdgeProb: 0.5, Seed: 3}
+	d, err := NewDynamic(cfg, DynLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expandAll(t, d, func([]dag.NodeID) {})
+	fin, err := d.FinalDAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < fin.NumNodes(); v++ {
+		want := d.Parents(dag.NodeID(v))
+		got := fin.Parents(dag.NodeID(v))
+		if len(got) != len(want) {
+			t.Fatalf("node %d: parent counts differ: frozen %d vs expander %d", v, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("node %d parent %d: frozen %d vs expander %d", v, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDynamicGrowthBound pins the runtime enforcement of the node cap: an
+// expansion that would exceed it fails with ErrGrowthBound and the error is
+// sticky so the whole run winds down.
+func TestDynamicGrowthBound(t *testing.T) {
+	cfg := Config{Shape: Dynamic, Stages: 30, Width: 4, EdgeProb: 0, Seed: 5}
+	d, err := NewDynamic(cfg, DynLimits{MaxNodes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontier := []dag.NodeID{0}
+	var boundErr error
+	for len(frontier) > 0 && boundErr == nil {
+		var next []dag.NodeID
+		for _, u := range frontier {
+			children, err := d.Expand(u)
+			if err != nil {
+				boundErr = err
+				break
+			}
+			next = append(next, children...)
+		}
+		frontier = next
+	}
+	if !errors.Is(boundErr, ErrGrowthBound) {
+		t.Fatalf("expansion error = %v, want ErrGrowthBound", boundErr)
+	}
+	if d.NumNodes() > 200 {
+		t.Errorf("NumNodes = %d after bound hit, want <= 200", d.NumNodes())
+	}
+	// Sticky: the root re-expanded reports the same failure.
+	if _, err := d.Expand(0); !errors.Is(err, ErrGrowthBound) {
+		t.Errorf("Expand after bound = %v, want sticky ErrGrowthBound", err)
+	}
+
+	// Edge cap enforcement, separately.
+	de, err := NewDynamic(Config{Shape: Dynamic, Stages: 30, Width: 4, EdgeProb: 0.9, Seed: 5}, DynLimits{MaxEdges: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontier = []dag.NodeID{0}
+	boundErr = nil
+	for len(frontier) > 0 && boundErr == nil {
+		var next []dag.NodeID
+		for _, u := range frontier {
+			children, err := de.Expand(u)
+			if err != nil {
+				boundErr = err
+				break
+			}
+			next = append(next, children...)
+		}
+		frontier = next
+	}
+	if !errors.Is(boundErr, ErrGrowthBound) {
+		t.Fatalf("edge-cap expansion error = %v, want ErrGrowthBound", boundErr)
+	}
+}
+
+// TestDynamicLeafAndUnknown pins Expand's edge cases: leaves return no
+// successors and undiscovered IDs are an error, not a silent expansion.
+func TestDynamicLeafAndUnknown(t *testing.T) {
+	d, err := NewDynamic(Config{Shape: Dynamic, Stages: 1, Width: 2, Seed: 8}, DynLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	children, err := d.Expand(0)
+	if err != nil || len(children) == 0 {
+		t.Fatalf("Expand(0) = %v, %v; want children", children, err)
+	}
+	for _, c := range children {
+		got, err := d.Expand(c)
+		if err != nil || got != nil {
+			t.Errorf("Expand(leaf %d) = %v, %v; want nil, nil", c, got, err)
+		}
+	}
+	if _, err := d.Expand(dag.NodeID(d.NumNodes() + 5)); err == nil {
+		t.Error("Expand of undiscovered node succeeded, want error")
+	}
+	if _, err := d.Expand(-1); err == nil {
+		t.Error("Expand(-1) succeeded, want error")
+	}
+}

@@ -1,6 +1,6 @@
 // Package gen provides deterministic DAG construction for benchmark and
-// service workloads. Three shapes are supported; the first two mirror the
-// Nabbit random-DAG microbenchmark knobs <R, NodeWork, dag_type>:
+// service workloads. Five shapes are supported; they mirror the Nabbit
+// random-DAG microbenchmark knobs <R, NodeWork, dag_type>:
 //
 //   - Random: nodes 0..N-1 with each forward edge (i, j), i < j, present
 //     independently with probability p. Node 0 is forced to be the unique
@@ -10,18 +10,28 @@
 //     |i-j| <= 1, bracketed by a dedicated source and sink. This produces a
 //     deep, narrow task graph with large span — the shape that stresses
 //     scheduler depth.
+//   - Chain: a single path 0→1→…→N-1, the degenerate width-1 pipeline and
+//     the maximum-span shape per node budget. Nabbit's TODO notes that
+//     huge-span pipelines break naive (stack-recursive) execution; chain
+//     specs near the node cap prove the scheduler's iterative continuation
+//     loop handles them.
 //   - Explicit: a client-supplied node count and edge list, built verbatim
 //     through dag.Builder. Unlike the generated shapes nothing is invented:
 //     self-loops, duplicate edges, out-of-range endpoints, and cycles are
 //     all rejected.
+//   - Dynamic: a seeded expansion whose nodes are discovered at runtime
+//     (Nabbit's dynamic mode): the graph is never built up front — see
+//     dynamic.go for the lazy expander the scheduler grows mid-run.
 //
 // All randomness flows from Config.Seed, so a given Config always produces
-// an identical DAG (Explicit involves no randomness at all).
+// an identical DAG (Explicit involves no randomness at all, Chain only
+// depends on its node count).
 package gen
 
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
@@ -37,6 +47,12 @@ const (
 	Pipeline
 	// Explicit is a client-supplied node count plus edge list.
 	Explicit
+	// Chain is a single path 0→1→…→N-1 (a width-1 pipeline without the
+	// bracketing source/sink): the deepest span any node budget allows.
+	Chain
+	// Dynamic is a seeded runtime expansion; its graph is discovered while
+	// it executes rather than generated up front (see Dyn).
+	Dynamic
 )
 
 // String implements fmt.Stringer.
@@ -48,13 +64,17 @@ func (s Shape) String() string {
 		return "pipeline"
 	case Explicit:
 		return "explicit"
+	case Chain:
+		return "chain"
+	case Dynamic:
+		return "dynamic"
 	default:
 		return fmt.Sprintf("Shape(%d)", int(s))
 	}
 }
 
-// ParseShape converts a wire string ("random", "pipeline", "explicit") to a
-// Shape.
+// ParseShape converts a wire string ("random", "pipeline", "explicit",
+// "chain", "dynamic") to a Shape.
 func ParseShape(s string) (Shape, error) {
 	switch s {
 	case "random":
@@ -63,17 +83,21 @@ func ParseShape(s string) (Shape, error) {
 		return Pipeline, nil
 	case "explicit":
 		return Explicit, nil
+	case "chain":
+		return Chain, nil
+	case "dynamic":
+		return Dynamic, nil
 	default:
-		return 0, fmt.Errorf("gen: unknown dag shape %q (want random, pipeline, or explicit)", s)
+		return 0, fmt.Errorf("gen: unknown dag shape %q (want random, pipeline, chain, dynamic, or explicit)", s)
 	}
 }
 
 // MarshalText implements encoding.TextMarshaler, so a Shape serializes as
-// its name ("random", "pipeline", "explicit") in JSON and other text
-// encodings.
+// its name ("random", "pipeline", "explicit", "chain", "dynamic") in JSON
+// and other text encodings.
 func (s Shape) MarshalText() ([]byte, error) {
 	switch s {
-	case Random, Pipeline, Explicit:
+	case Random, Pipeline, Explicit, Chain, Dynamic:
 		return []byte(s.String()), nil
 	default:
 		return nil, fmt.Errorf("gen: cannot marshal unknown dag shape %d", int(s))
@@ -123,7 +147,8 @@ type Config struct {
 	Edges    []Edge  `json:"edges,omitempty"`  // explicit edge list (Explicit only)
 }
 
-// Generate builds the DAG described by cfg.
+// Generate builds the DAG described by cfg. The dynamic shape has no
+// up-front graph by design — callers execute it through NewDynamic instead.
 func Generate(cfg Config) (*dag.DAG, error) {
 	switch cfg.Shape {
 	case Random:
@@ -132,9 +157,28 @@ func Generate(cfg Config) (*dag.DAG, error) {
 		return PipelineDAG(cfg.Stages, cfg.Width)
 	case Explicit:
 		return ExplicitDAG(cfg.Nodes, cfg.Edges)
+	case Chain:
+		return ChainDAG(cfg.Nodes)
+	case Dynamic:
+		return nil, fmt.Errorf("gen: dynamic dags are discovered at runtime; execute them via NewDynamic, not Generate")
 	default:
 		return nil, fmt.Errorf("gen: unknown dag shape %v", cfg.Shape)
 	}
+}
+
+// ChainDAG builds the n-node path 0→1→…→n-1. It bypasses Builder's
+// duplicate-edge map: a chain near the node cap is the deep-span stress
+// shape, and paying a million-entry hash map to dedupe edges that cannot
+// repeat would roughly triple generation cost for nothing.
+func ChainDAG(n int) (*dag.DAG, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: chain needs >= 1 node, got %d", n)
+	}
+	edges := make([][2]dag.NodeID, n-1)
+	for i := range edges {
+		edges[i] = [2]dag.NodeID{dag.NodeID(i), dag.NodeID(i + 1)}
+	}
+	return dag.FromEdges(n, edges)
 }
 
 // ExplicitDAG builds the graph a client described literally: n nodes
@@ -216,6 +260,13 @@ func RandomDAG(n int, p float64, seed int64) (*dag.DAG, error) {
 func PipelineDAG(stages, width int) (*dag.DAG, error) {
 	if stages < 1 || width < 1 {
 		return nil, fmt.Errorf("gen: pipeline needs stages >= 1 and width >= 1, got %dx%d", stages, width)
+	}
+	// Division-based guard: stages*width+2 overflows int for adversarial
+	// dimensions (wrapping negative and panicking in NewBuilder), and
+	// admission caps are not on every caller's path — the CLI hands
+	// dimensions straight here.
+	if stages > (math.MaxInt-2)/width {
+		return nil, fmt.Errorf("gen: pipeline %dx%d overflows the node count", stages, width)
 	}
 	n := stages*width + 2
 	source := dag.NodeID(0)

@@ -159,6 +159,11 @@ func TestPipelineDAGValidation(t *testing.T) {
 	if _, err := PipelineDAG(3, 0); err == nil {
 		t.Error("PipelineDAG(3,0) succeeded, want error")
 	}
+	// stages*width+2 wraps negative for these dimensions; pre-guard this
+	// panicked in dag.NewBuilder on callers that bypass admission (the CLI).
+	if _, err := PipelineDAG(3037000500, 3037000500); err == nil {
+		t.Error("PipelineDAG(3037000500,3037000500) succeeded, want overflow error")
+	}
 }
 
 func TestGenerateDispatch(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/sched"
 )
@@ -32,16 +33,19 @@ func Execute(ctx context.Context, spec Spec, defaultWorkers int) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	d, err := gen.Generate(spec.Config)
-	if err != nil {
-		return nil, err
-	}
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = defaultWorkers
 	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
+	}
+	if spec.Shape == gen.Dynamic {
+		return executeDynamic(ctx, spec, workload, workers)
+	}
+	d, err := gen.Generate(spec.Config)
+	if err != nil {
+		return nil, err
 	}
 
 	t0 := time.Now()
@@ -51,13 +55,63 @@ func Execute(ctx context.Context, spec Spec, defaultWorkers int) (*Result, error
 	}
 	serialDur := time.Since(t0)
 
+	// parallel_work (Nabbit UseParallelNodes): the scheduler burns the
+	// per-node work itself, sliced across idle workers, and finalizes each
+	// node with the workload's pure hook. The serial reference above is
+	// untouched — spin never feeds the recurrence — so Verify still compares
+	// like with like.
+	opts := sched.Options{Workers: workers}
+	hook := workload.Compute(spec.Work)
+	if spec.ParallelWork {
+		sc, ok := workload.(sched.SplitComputable)
+		if !ok {
+			return nil, fmt.Errorf("%w: workload %s cannot split per-node work", ErrInvalidSpec, workload.Name())
+		}
+		opts.SplitWork = spec.Work
+		hook = sc.PureCompute()
+	}
 	t1 := time.Now()
-	parallel, err := sched.New(d, sched.Options{Workers: workers}).Run(ctx, workload.Compute(spec.Work))
+	parallel, err := sched.New(d, opts).Run(ctx, hook)
 	if err != nil {
 		return nil, err
 	}
 	parallelDur := time.Since(t1)
 
+	return buildResult(workload, spec, d, workers, serial, parallel, serialDur, parallelDur)
+}
+
+// executeDynamic runs a dynamic-shape spec: the graph is discovered while
+// the parallel pass executes (bounded by the service growth caps), and the
+// serial reference then sweeps the *final* graph — it necessarily runs
+// after the parallel pass, the reverse of the static ordering.
+func executeDynamic(ctx context.Context, spec Spec, workload sched.Workload, workers int) (*Result, error) {
+	dyn, err := gen.NewDynamic(spec.Config, gen.DynLimits{MaxNodes: MaxNodes, MaxEdges: MaxEdges})
+	if err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	parallel, err := sched.RunDynamic(ctx, dyn, workers, workload.Compute(spec.Work))
+	if err != nil {
+		return nil, err
+	}
+	parallelDur := time.Since(t1)
+
+	d, err := dyn.FinalDAG()
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	serial, err := workload.Serial(ctx, d, spec.Work)
+	if err != nil {
+		return nil, err
+	}
+	serialDur := time.Since(t0)
+
+	return buildResult(workload, spec, d, workers, serial, parallel, serialDur, parallelDur)
+}
+
+func buildResult(workload sched.Workload, spec Spec, d *dag.DAG, workers int,
+	serial, parallel []uint64, serialDur, parallelDur time.Duration) (*Result, error) {
 	verifyErr := workload.Verify(d, serial, parallel)
 	res := &Result{
 		Workload:       workload.Name(),

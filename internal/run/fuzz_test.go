@@ -37,6 +37,15 @@ func FuzzSpecValidate(f *testing.F) {
 		`{"shape":"pipeline","stages":2,"width":2,"workload":"hashchain"}`,
 		`{"shape":"pipeline","stages":2,"width":2,"workload":"nope"}`,
 		`{"shape":"pipeline","stages":2,"width":2,"work":-5,"workers":99999}`,
+		`{"shape":"pipeline","stages":3037000500,"width":3037000500}`, // int-overflow cap bypass
+		`{"shape":"chain","nodes":1000}`,
+		`{"shape":"chain","nodes":0}`,
+		`{"shape":"dynamic","stages":4,"width":2,"p":0.3,"seed":1}`,
+		`{"shape":"dynamic","stages":0,"width":2}`,
+		`{"shape":"dynamic","stages":4,"width":65}`,
+		`{"shape":"dynamic","stages":4,"width":2,"nodes":10}`,
+		`{"shape":"dynamic","stages":4,"width":2,"parallel_work":true}`,
+		`{"shape":"pipeline","stages":4,"width":2,"work":20000,"parallel_work":true}`,
 		`{"shape":"random","nodes":10,"p":0.5,"edges":[[0,1]]}`, // edges on generated shape
 		`{}`,
 		`null`,
@@ -56,7 +65,9 @@ func FuzzSpecValidate(f *testing.F) {
 			return // rejection is always a legal outcome
 		}
 		// Accepted: the spec must build, unless it is too large to build
-		// cheaply inside a fuzz iteration.
+		// cheaply inside a fuzz iteration. The dynamic shape has no up-front
+		// graph by design — its admission contract is instead that NewDynamic
+		// accepts whatever Validate accepted.
 		const buildCeiling = 1 << 14
 		switch spec.Shape {
 		case gen.Random:
@@ -68,10 +79,19 @@ func FuzzSpecValidate(f *testing.F) {
 			if spec.Stages*spec.Width > buildCeiling {
 				t.Skip("accepted but too large to build per-iteration")
 			}
+		case gen.Chain:
+			if spec.Nodes > buildCeiling {
+				t.Skip("accepted but too large to build per-iteration")
+			}
 		case gen.Explicit:
 			if spec.Nodes > buildCeiling || len(spec.Edges) > buildCeiling {
 				t.Skip("accepted but too large to build per-iteration")
 			}
+		case gen.Dynamic:
+			if _, err := gen.NewDynamic(spec.Config, gen.DynLimits{MaxNodes: run.MaxNodes, MaxEdges: run.MaxEdges}); err != nil {
+				t.Fatalf("Validate accepted a dynamic spec NewDynamic rejects: %v\nspec: %s", err, data)
+			}
+			return
 		}
 		d, err := gen.Generate(spec.Config)
 		if err != nil {

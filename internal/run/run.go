@@ -98,6 +98,13 @@ type Spec struct {
 	Workload string `json:"workload,omitempty"` // registered workload name; "" = the default (pathcount)
 	Work     int    `json:"work,omitempty"`     // busy-work iterations per node (Nabbit W)
 	Workers  int    `json:"workers,omitempty"`  // per-run worker pool size; 0 = service default
+	// ParallelWork enables intra-node parallelism (Nabbit UseParallelNodes):
+	// each node's Work iterations are split into sub-tasks that idle workers
+	// steal, instead of burning on one worker. Requires a workload that
+	// separates its busy-work from its value recurrence
+	// (sched.SplitComputable — all built-ins qualify); not valid for the
+	// dynamic shape.
+	ParallelWork bool `json:"parallel_work,omitempty"`
 	// Tenant is the owning tenant's name. The dispatcher stamps it at
 	// admission from the resolved X-Tenant identity (never trusted from the
 	// request body), it rides every WAL record, and crash recovery requeues
@@ -113,10 +120,11 @@ type Spec struct {
 // Spec validation bounds. The service executes untrusted specs, so sizes
 // are capped to keep a single request from exhausting memory.
 const (
-	MaxNodes   = 1 << 20 // total node cap for any shape
-	MaxEdges   = 1 << 22 // edge cap (expected for random, literal for explicit)
-	MaxWork    = 1 << 26 // per-node busy-work cap
-	MaxWorkers = 1024
+	MaxNodes    = 1 << 20 // total node cap for any shape (a growth bound for dynamic)
+	MaxEdges    = 1 << 22 // edge cap (expected for random, literal for explicit, growth bound for dynamic)
+	MaxWork     = 1 << 26 // per-node busy-work cap
+	MaxWorkers  = 1024
+	MaxDynWidth = 64 // max per-node branching factor for the dynamic shape
 )
 
 // Admission sentinels. Every Validate failure wraps exactly one of these,
@@ -152,8 +160,17 @@ func (s Spec) Validate() error {
 	if len(s.Tenant) > tenant.MaxNameLen {
 		return fmt.Errorf("%w: tenant name longer than %d bytes", ErrInvalidSpec, tenant.MaxNameLen)
 	}
-	if _, err := sched.LookupWorkload(s.Workload); err != nil {
+	w, err := sched.LookupWorkload(s.Workload)
+	if err != nil {
 		return fmt.Errorf("%w: %v", ErrUnknownWorkload, err)
+	}
+	if s.ParallelWork {
+		if s.Shape == gen.Dynamic {
+			return fmt.Errorf("%w: parallel_work is not supported for the dynamic shape", ErrInvalidSpec)
+		}
+		if _, ok := w.(sched.SplitComputable); !ok {
+			return fmt.Errorf("%w: workload %s cannot split per-node work (no pure compute hook)", ErrInvalidSpec, w.Name())
+		}
 	}
 	return nil
 }
@@ -179,8 +196,32 @@ func (s Spec) validateShape() error {
 		if s.Stages < 1 || s.Width < 1 {
 			return fmt.Errorf("pipeline spec needs stages >= 1 and width >= 1, got %dx%d", s.Stages, s.Width)
 		}
-		if n := s.Stages*s.Width + 2; n > MaxNodes {
-			return fmt.Errorf("pipeline %dx%d has %d nodes, cap is %d", s.Stages, s.Width, n, MaxNodes)
+		// Overflow-safe form of stages*width+2 > MaxNodes: the naive product
+		// wraps negative for huge JSON values (stages=width≈2^31.5) and
+		// would bypass the cap entirely.
+		if s.Stages > (MaxNodes-2)/s.Width {
+			return fmt.Errorf("pipeline %dx%d exceeds the %d-node cap", s.Stages, s.Width, MaxNodes)
+		}
+	case gen.Chain:
+		if s.Nodes < 1 || s.Nodes > MaxNodes {
+			return fmt.Errorf("chain spec needs 1 <= nodes <= %d, got %d", MaxNodes, s.Nodes)
+		}
+	case gen.Dynamic:
+		// The final size of a dynamic graph is unknowable at admission — the
+		// graph is discovered at runtime — so MaxNodes/MaxEdges are enforced
+		// as growth bounds during execution (gen.ErrGrowthBound) rather than
+		// here. Only parameters that guarantee failure are rejected up front.
+		if s.Stages < 1 || s.Stages > MaxNodes-1 {
+			return fmt.Errorf("dynamic spec needs 1 <= stages <= %d, got %d", MaxNodes-1, s.Stages)
+		}
+		if s.Width < 1 || s.Width > MaxDynWidth {
+			return fmt.Errorf("dynamic spec needs 1 <= width <= %d, got %d", MaxDynWidth, s.Width)
+		}
+		if s.EdgeProb < 0 || s.EdgeProb > 1 {
+			return fmt.Errorf("edge probability %v outside [0,1]", s.EdgeProb)
+		}
+		if s.Nodes != 0 {
+			return fmt.Errorf("dynamic spec must not set nodes (the graph is discovered at runtime), got %d", s.Nodes)
 		}
 	case gen.Explicit:
 		if s.Nodes < 1 || s.Nodes > MaxNodes {

@@ -1,0 +1,260 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
+)
+
+// DynamicGraph is a DAG discovered while it executes (the Nabbit dynamic
+// mode). The scheduler learns a node's successors only by calling Expand
+// after executing it; the graph may grow on every expansion.
+//
+// Contract: node IDs are dense in [0, NumNodes()). Expand(u) returns u's
+// successors, materializing them (and possibly siblings) as a side effect —
+// after it returns, NumNodes covers every returned ID and Parents is final
+// for all of them. Expand must be deterministic with respect to the graph
+// structure (not the call order) so the final graph can be re-swept
+// serially for verification, and must return an error — gen.ErrGrowthBound
+// wrapped, for the built-in expander — when growth would exceed its caps.
+type DynamicGraph interface {
+	NumNodes() int
+	Parents(v dag.NodeID) []dag.NodeID
+	Expand(u dag.NodeID) ([]dag.NodeID, error)
+}
+
+// dynRun is the scheduling state of one dynamic execution. It reuses the
+// work-stealing deques but swaps the fixed-size value/pending arrays for
+// growable ones: growth takes the full lock, while every per-node access
+// holds the read lock (element-level updates stay atomic — many read-lock
+// holders decrement concurrently). A worker calls ensure after every
+// Expand and before touching any child counter, so an index is always
+// initialized (under the write lock) before any decrement can reach it.
+type dynRun struct {
+	g DynamicGraph
+	f Compute
+
+	mu      sync.RWMutex
+	values  []uint64
+	pending []int32
+
+	size    atomic.Int64 // nodes covered by ensure so far
+	retired atomic.Int64
+	steals  atomic.Int64
+
+	deques []*wsDeque
+	wake   chan struct{}
+	done   chan struct{}
+
+	abort   chan struct{}
+	errOnce sync.Once
+	err     error
+}
+
+// RunDynamic executes f over every node g discovers, in dependency order,
+// on a work-stealing pool of the given size (zero or negative means
+// runtime.NumCPU()). It returns the per-node values of the final graph,
+// indexed by NodeID. If any expansion fails — typically the growth bound —
+// the run winds down promptly and the expansion error is returned.
+func RunDynamic(ctx context.Context, g DynamicGraph, workers int, f Compute) ([]uint64, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	r := &dynRun{
+		g:      g,
+		f:      f,
+		deques: make([]*wsDeque, workers),
+		wake:   make(chan struct{}, workers),
+		done:   make(chan struct{}),
+		abort:  make(chan struct{}),
+	}
+	for i := range r.deques {
+		r.deques[i] = new(wsDeque)
+	}
+	r.ensure(g.NumNodes())
+	// Seed the initially known roots (no workers running yet, plain appends).
+	next := 0
+	for v := range r.pending {
+		if r.pending[v] == 0 {
+			q := r.deques[next%workers]
+			q.buf = append(q.buf, wsItem{id: dag.NodeID(v)})
+			next++
+		}
+	}
+	if next == 0 {
+		return r.values, nil
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			r.worker(ctx, self)
+		}(w)
+	}
+	wg.Wait()
+	nodesExecuted.Add(r.retired.Load())
+	stealsTotal.Add(r.steals.Load())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if got, want := r.retired.Load(), r.size.Load(); got == want {
+		return r.values, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("sched: dynamic run retired %d of %d discovered nodes (corrupt expansion)",
+		r.retired.Load(), r.size.Load())
+}
+
+// ensure grows the value/pending arrays to cover n nodes, initializing each
+// new node's pending counter from its (final, per the DynamicGraph
+// contract) parent list. Safe to call concurrently; late callers see the
+// arrays already grown and return without the write lock.
+func (r *dynRun) ensure(n int) {
+	if int(r.size.Load()) >= n {
+		return
+	}
+	r.mu.Lock()
+	old := len(r.values)
+	if old < n {
+		values := make([]uint64, n)
+		copy(values, r.values)
+		pending := make([]int32, n)
+		copy(pending, r.pending)
+		for v := old; v < n; v++ {
+			pending[v] = int32(len(r.g.Parents(dag.NodeID(v))))
+		}
+		r.values = values
+		r.pending = pending
+		r.size.Store(int64(n))
+	}
+	r.mu.Unlock()
+}
+
+func (r *dynRun) fail(err error) {
+	r.errOnce.Do(func() {
+		r.err = err
+		close(r.abort)
+	})
+}
+
+func (r *dynRun) notify(k int) {
+	for i := 0; i < k; i++ {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+			return
+		}
+	}
+}
+
+func (r *dynRun) steal(self int, scratch *[]wsItem) (wsItem, bool) {
+	w := len(r.deques)
+	for off := 1; off < w; off++ {
+		victim := r.deques[(self+off)%w]
+		got := victim.stealHalf((*scratch)[:0])
+		if len(got) == 0 {
+			continue
+		}
+		r.steals.Add(1)
+		if len(got) > 1 {
+			r.deques[self].pushBatch(got[1:])
+			r.notify(len(got) - 1)
+		}
+		first := got[0]
+		*scratch = got[:0]
+		return first, true
+	}
+	return wsItem{}, false
+}
+
+// worker mirrors wsRun.worker with two differences: the graph's edges come
+// from Expand (called after the node's value is computed, mimicking a node
+// discovering its successors as it runs), and array accesses hold the read
+// lock because another worker may be growing the arrays concurrently.
+func (r *dynRun) worker(ctx context.Context, self int) {
+	q := r.deques[self]
+	parentBuf := make([]uint64, 0, 16)
+	batch := make([]wsItem, 0, 16)
+	stealBuf := make([]wsItem, 0, 16)
+	var next wsItem
+	have := false
+	for {
+		if !have {
+			var ok bool
+			if next, ok = q.popTail(); !ok {
+				if next, ok = r.steal(self, &stealBuf); !ok {
+					select {
+					case <-r.done:
+						return
+					case <-r.abort:
+						return
+					case <-ctx.Done():
+						return
+					case <-r.wake:
+						continue
+					}
+				}
+			}
+			have = true
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-r.abort:
+			return
+		default:
+		}
+		id := next.id
+		have = false
+
+		// Compute the node's value from its already-final parent list.
+		parents := r.g.Parents(id)
+		r.mu.RLock()
+		parentBuf = parentBuf[:0]
+		for _, p := range parents {
+			parentBuf = append(parentBuf, r.values[p])
+		}
+		r.mu.RUnlock()
+		v := r.f(id, parentBuf)
+		r.mu.RLock()
+		r.values[id] = v
+		r.mu.RUnlock()
+
+		// Discover successors; a growth-bound error aborts the whole run.
+		children, err := r.g.Expand(id)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		r.ensure(r.g.NumNodes())
+
+		batch = batch[:0]
+		r.mu.RLock()
+		for _, c := range children {
+			if atomic.AddInt32(&r.pending[c], -1) == 0 {
+				batch = append(batch, wsItem{id: c})
+			}
+		}
+		r.mu.RUnlock()
+		if len(batch) > 0 {
+			next = batch[0]
+			have = true
+			if len(batch) > 1 {
+				q.pushBatch(batch[1:])
+				r.notify(len(batch) - 1)
+			}
+		}
+		if r.retired.Add(1) == r.size.Load() {
+			close(r.done)
+			return
+		}
+	}
+}

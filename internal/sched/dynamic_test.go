@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
+	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/gen"
+)
+
+// TestDeepChainExecution proves the scheduler handles Nabbit's huge-span
+// graphs iteratively: a ~1e6-deep chain would blow the stack under any
+// per-level recursion, but the keep-first-child continuation walks it as a
+// loop inside one worker.
+func TestDeepChainExecution(t *testing.T) {
+	const n = 1 << 20
+	d, err := gen.ChainDAG(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(d, Options{Workers: 8})
+	vals, err := ex.Run(context.Background(), mustLookup("longestpath").Compute(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := vals[n-1], uint64(n-1); got != want {
+		t.Fatalf("chain sink depth = %d, want %d", got, want)
+	}
+}
+
+// TestDeepWidthOnePipeline is the same span stress through the pipeline
+// generator at width 1, the other shape the run layer admits at full depth.
+func TestDeepWidthOnePipeline(t *testing.T) {
+	const stages = 1<<20 - 2
+	d, err := gen.PipelineDAG(stages, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Depth(); got != stages+1 {
+		t.Fatalf("Depth = %d, want %d", got, stages+1)
+	}
+	vals, err := New(d, Options{Workers: 4}).Run(context.Background(), PathCount(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != 1 {
+			t.Fatalf("node %d path count = %d, want 1 (width-1 pipeline has one path)", i, v)
+		}
+	}
+}
+
+// BenchmarkDeepChain pins the per-node cost (time and allocations) of the
+// deep-span path: allocations must stay amortized-constant per node, not
+// per-level.
+func BenchmarkDeepChain(b *testing.B) {
+	const n = 1 << 18
+	d, err := gen.ChainDAG(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := New(d, Options{Workers: 4})
+	hook := PathCount(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Run(context.Background(), hook); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSplitWorkMatchesSerial pins the parallel_work path end to end inside
+// the scheduler: values computed with the pure hook plus scheduler-side
+// sliced work must equal the ordinary serial reference, and more than one
+// worker must actually have executed slices of some node's work.
+func TestSplitWorkMatchesSerial(t *testing.T) {
+	d, err := gen.ChainDAG(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mustLookup("hashchain")
+	serial, err := w.Serial(context.Background(), d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure := w.(SplitComputable).PureCompute()
+
+	const splitWork = 1 << 20 // chunks = min(workers, splitWork/4096) = 8
+	ex := New(d, Options{Workers: 8, SplitWork: splitWork})
+	// Slice stealing is timing-dependent; retry a few times before declaring
+	// that no second worker ever participated.
+	participated := 0
+	for attempt := 0; attempt < 10; attempt++ {
+		vals, err := ex.Run(context.Background(), pure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verr := w.Verify(d, serial, vals); verr != nil {
+			t.Fatal(verr)
+		}
+		if participated = ex.SplitWorkers(); participated >= 2 {
+			break
+		}
+	}
+	if participated < 2 {
+		t.Fatalf("SplitWorkers = %d after retries, want >= 2 (no intra-node parallelism observed)", participated)
+	}
+}
+
+// TestSplitWorkSingleNode is the degenerate Nabbit UseParallelNodes case: a
+// one-node graph has zero inter-node parallelism, so any speedup must come
+// from splitting the node's own work.
+func TestSplitWorkSingleNode(t *testing.T) {
+	d, err := gen.ChainDAG(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(d, Options{Workers: 4, SplitWork: 1 << 18})
+	vals, err := ex.Run(context.Background(), mustLookup("pathcount").(SplitComputable).PureCompute())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 1 {
+		t.Fatalf("single-node value = %d, want 1", vals[0])
+	}
+}
+
+// TestRunDynamicMatchesSerial executes a dynamic expansion in parallel and
+// verifies the values against a serial sweep of the final graph — the same
+// verification contract run.Execute applies.
+func TestRunDynamicMatchesSerial(t *testing.T) {
+	for _, wl := range []string{"pathcount", "hashchain", "longestpath"} {
+		w := mustLookup(wl)
+		dyn, err := gen.NewDynamic(gen.Config{Shape: gen.Dynamic, Stages: 8, Width: 3, EdgeProb: 0.3, Seed: 17}, gen.DynLimits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := RunDynamic(context.Background(), dyn, 8, w.Compute(0))
+		if err != nil {
+			t.Fatalf("%s: RunDynamic: %v", wl, err)
+		}
+		final, err := dyn.FinalDAG()
+		if err != nil {
+			t.Fatalf("%s: FinalDAG: %v", wl, err)
+		}
+		serial, err := w.Serial(context.Background(), final, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Verify(final, serial, vals); err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+	}
+}
+
+// TestRunDynamicGrowthBound pins the fail-closed path: an expansion that
+// exceeds its node cap aborts the run promptly with the growth-bound error.
+func TestRunDynamicGrowthBound(t *testing.T) {
+	dyn, err := gen.NewDynamic(gen.Config{Shape: gen.Dynamic, Stages: 40, Width: 4, EdgeProb: 0, Seed: 2},
+		gen.DynLimits{MaxNodes: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := RunDynamic(context.Background(), dyn, 4, PathCount(0))
+	if !errors.Is(rerr, gen.ErrGrowthBound) {
+		t.Fatalf("RunDynamic = %v, want gen.ErrGrowthBound", rerr)
+	}
+}
+
+// slowDyn wraps a gen.Dyn with a per-expand delay so cancellation can land
+// mid-run deterministically.
+type slowDyn struct {
+	*gen.Dyn
+	delay time.Duration
+	calls atomic.Int64
+}
+
+func (s *slowDyn) Expand(u dag.NodeID) ([]dag.NodeID, error) {
+	s.calls.Add(1)
+	time.Sleep(s.delay)
+	return s.Dyn.Expand(u)
+}
+
+func TestRunDynamicCancellation(t *testing.T) {
+	inner, err := gen.NewDynamic(gen.Config{Shape: gen.Dynamic, Stages: 1000, Width: 2, EdgeProb: 0, Seed: 4}, gen.DynLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := &slowDyn{Dyn: inner, delay: 200 * time.Microsecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	started := make(chan struct{})
+	var once sync.Once
+	hook := func(id dag.NodeID, parents []uint64) uint64 {
+		once.Do(func() { close(started) })
+		return 1
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunDynamic(ctx, dyn, 4, hook)
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("RunDynamic = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunDynamic did not return promptly after cancel")
+	}
+}
+
+// TestRunDynamicSingleLeaf covers the smallest dynamic graph (root with
+// stages=1) and a single worker, exercising the no-steal path.
+func TestRunDynamicSingleLeaf(t *testing.T) {
+	dyn, err := gen.NewDynamic(gen.Config{Shape: gen.Dynamic, Stages: 1, Width: 1, Seed: 6}, gen.DynLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := RunDynamic(context.Background(), dyn, 1, PathCount(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 1 {
+		t.Fatalf("values = %v, want [1 1] (root and its single child)", vals)
+	}
+}

@@ -22,6 +22,7 @@ package sched
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,13 +40,22 @@ type Compute func(id dag.NodeID, parentValues []uint64) uint64
 type Options struct {
 	// Workers is the pool size. Zero or negative means runtime.NumCPU().
 	Workers int
+	// SplitWork, when positive, enables intra-node parallelism (Nabbit's
+	// UseParallelNodes): the scheduler burns SplitWork spin iterations per
+	// node itself, sliced into sub-tasks that idle workers steal off the
+	// deques. The Compute hook passed to Run must then be PURE — no
+	// emulated work folded in (see SplitComputable) — or the work would be
+	// double-counted.
+	SplitWork int
 }
 
 // Executor runs a Compute hook over every node of one DAG. An Executor is
 // reusable: each Run call owns its own scheduling state.
 type Executor struct {
-	d       *dag.DAG
-	workers int
+	d         *dag.DAG
+	workers   int
+	splitWork int
+	splitMask atomic.Uint64 // worker-participation bits of the latest Run
 }
 
 // New returns an Executor for d.
@@ -54,7 +64,11 @@ func New(d *dag.DAG, opts Options) *Executor {
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
-	return &Executor{d: d, workers: w}
+	sw := opts.SplitWork
+	if sw < 0 {
+		sw = 0
+	}
+	return &Executor{d: d, workers: w, splitWork: sw}
 }
 
 // Process-lifetime execution tallies, exposed through NodesExecuted and
@@ -83,7 +97,7 @@ func (e *Executor) Run(ctx context.Context, f Compute) ([]uint64, error) {
 		return values, nil
 	}
 
-	r := newWSRun(e.d, f, e.workers, values)
+	r := newWSRun(e.d, f, e.workers, values, e.splitWork, e.splitChunks())
 	var wg sync.WaitGroup
 	for w := 0; w < e.workers; w++ {
 		wg.Add(1)
@@ -93,6 +107,7 @@ func (e *Executor) Run(ctx context.Context, f Compute) ([]uint64, error) {
 		}(w)
 	}
 	wg.Wait()
+	e.splitMask.Store(r.splitMask.Load())
 	// Flush this run's tallies into the process-lifetime counters once,
 	// after the pool drains — the workers themselves never touch a shared
 	// sink (see the per-worker deque comment below).
@@ -110,6 +125,32 @@ func (e *Executor) Run(ctx context.Context, f Compute) ([]uint64, error) {
 	// was constructed outside Builder; fail loudly rather than return
 	// partial values.
 	return nil, fmt.Errorf("sched: only %d of %d nodes retired (cyclic or corrupt graph)", r.retired.Load(), n)
+}
+
+// splitChunks decides how many slices each node's emulated work splits
+// into: enough that every worker could take one, but never slices smaller
+// than minSplitChunk iterations (below that the publish/steal overhead
+// dwarfs the work being parallelized).
+func (e *Executor) splitChunks() int {
+	const minSplitChunk = 4096
+	if e.splitWork <= 0 {
+		return 1
+	}
+	chunks := e.splitWork / minSplitChunk
+	if chunks > e.workers {
+		chunks = e.workers
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	return chunks
+}
+
+// SplitWorkers reports how many distinct workers (of the first 64)
+// executed at least one split-work slice during the Executor's most recent
+// Run. Zero when SplitWork was off or every node ran unsliced.
+func (e *Executor) SplitWorkers() int {
+	return bits.OnesCount64(e.splitMask.Load())
 }
 
 // mustLookup resolves a built-in workload; the registry is populated in

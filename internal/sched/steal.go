@@ -8,7 +8,7 @@ import (
 	"github.com/paper-repo-growth/conf_micro_daglisunbfg16/internal/dag"
 )
 
-// Work-stealing core. Each worker owns a deque of ready node IDs: it pushes
+// Work-stealing core. Each worker owns a deque of ready items: it pushes
 // and pops at the tail (LIFO, so execution runs depth-first along the DAG
 // and stays cache-warm), while idle workers steal half a victim's deque
 // from the head (FIFO, so thieves take the oldest — widest — frontier and
@@ -27,40 +27,48 @@ import (
 // establishes happens-before from every parent's write to the child's read,
 // and runs stay clean under the race detector.
 
+// wsItem is one deque entry. chunk 0 means "the whole node"; chunk k > 0 is
+// the k-th slice of a split node's emulated work (the Nabbit
+// UseParallelNodes mode, see the split-work section of the worker loop).
+type wsItem struct {
+	id    dag.NodeID
+	chunk int32
+}
+
 // wsDeque is one worker's ready queue. The trailing pad keeps separately
 // indexed deques off each other's cache line (the struct is padded to 64
 // bytes and heap-allocated individually).
 type wsDeque struct {
 	mu  sync.Mutex
-	buf []dag.NodeID
-	_   [32]byte
+	buf []wsItem
+	_   [24]byte
 }
 
-// pushBatch appends ids to the tail under one lock acquisition.
-func (q *wsDeque) pushBatch(ids []dag.NodeID) {
+// pushBatch appends items to the tail under one lock acquisition.
+func (q *wsDeque) pushBatch(items []wsItem) {
 	q.mu.Lock()
-	q.buf = append(q.buf, ids...)
+	q.buf = append(q.buf, items...)
 	q.mu.Unlock()
 }
 
 // popTail removes and returns the newest entry (owner side, LIFO).
-func (q *wsDeque) popTail() (dag.NodeID, bool) {
+func (q *wsDeque) popTail() (wsItem, bool) {
 	q.mu.Lock()
 	n := len(q.buf)
 	if n == 0 {
 		q.mu.Unlock()
-		return 0, false
+		return wsItem{}, false
 	}
-	id := q.buf[n-1]
+	it := q.buf[n-1]
 	q.buf = q.buf[:n-1]
 	q.mu.Unlock()
-	return id, true
+	return it, true
 }
 
 // stealHalf removes the oldest half (rounded up) of the deque and appends
 // it to into, returning the extended slice. Stealing from the head keeps
 // FIFO order for the thief and leaves the victim its recently pushed tail.
-func (q *wsDeque) stealHalf(into []dag.NodeID) []dag.NodeID {
+func (q *wsDeque) stealHalf(into []wsItem) []wsItem {
 	q.mu.Lock()
 	n := len(q.buf)
 	if n == 0 {
@@ -90,18 +98,33 @@ type wsRun struct {
 	done    chan struct{}
 	retired atomic.Int64
 	steals  atomic.Int64 // successful stealHalf operations this run
+
+	// Split-work state (Nabbit UseParallelNodes). When splitWork > 0 the
+	// Compute hook is pure (no spin folded in) and the scheduler burns
+	// splitWork spin iterations per node itself, sliced into chunks pieces
+	// that idle workers can steal. remaining[v] counts a node's unfinished
+	// slices; whichever worker drops it to zero finalizes the node.
+	splitWork int
+	chunks    int
+	remaining []atomic.Int32
+	splitMask atomic.Uint64 // bit per worker (mod 64) that ran a split slice
 }
 
-func newWSRun(d *dag.DAG, f Compute, workers int, values []uint64) *wsRun {
+func newWSRun(d *dag.DAG, f Compute, workers int, values []uint64, splitWork, chunks int) *wsRun {
 	n := len(values)
 	r := &wsRun{
-		d:       d,
-		f:       f,
-		values:  values,
-		pending: make([]atomic.Int32, n),
-		deques:  make([]*wsDeque, workers),
-		wake:    make(chan struct{}, workers),
-		done:    make(chan struct{}),
+		d:         d,
+		f:         f,
+		values:    values,
+		pending:   make([]atomic.Int32, n),
+		deques:    make([]*wsDeque, workers),
+		wake:      make(chan struct{}, workers),
+		done:      make(chan struct{}),
+		splitWork: splitWork,
+		chunks:    chunks,
+	}
+	if chunks > 1 {
+		r.remaining = make([]atomic.Int32, n)
 	}
 	for i := range r.deques {
 		r.deques[i] = new(wsDeque)
@@ -114,11 +137,34 @@ func newWSRun(d *dag.DAG, f Compute, workers int, values []uint64) *wsRun {
 		r.pending[v].Store(int32(deg))
 		if deg == 0 {
 			q := r.deques[next%workers]
-			q.buf = append(q.buf, dag.NodeID(v))
+			q.buf = append(q.buf, wsItem{id: dag.NodeID(v)})
 			next++
 		}
 	}
 	return r
+}
+
+// chunkSize returns the spin iterations of slice k (1-based): splitWork
+// divided as evenly as possible, with the remainder spread over the lowest
+// slice numbers so every slice differs by at most one iteration.
+func (r *wsRun) chunkSize(k int) int {
+	base := r.splitWork / r.chunks
+	if k <= r.splitWork%r.chunks {
+		base++
+	}
+	return base
+}
+
+// markSplit records that worker self executed a split slice. Go 1.22 has no
+// atomic Or, so the bit lands via a CAS loop.
+func (r *wsRun) markSplit(self int) {
+	bit := uint64(1) << (uint(self) % 64)
+	for {
+		old := r.splitMask.Load()
+		if old&bit != 0 || r.splitMask.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
 }
 
 // notify wakes up to k parked workers, dropping tokens once the semaphore
@@ -134,10 +180,10 @@ func (r *wsRun) notify(k int) {
 }
 
 // steal scans the other workers' deques round-robin from self+1 and takes
-// half of the first non-empty one: the first stolen node is returned to
+// half of the first non-empty one: the first stolen item is returned to
 // execute immediately, the rest land on self's deque (with a notify so
 // other parked workers can re-steal the surplus).
-func (r *wsRun) steal(self int, scratch *[]dag.NodeID) (dag.NodeID, bool) {
+func (r *wsRun) steal(self int, scratch *[]wsItem) (wsItem, bool) {
 	w := len(r.deques)
 	for off := 1; off < w; off++ {
 		victim := r.deques[(self+off)%w]
@@ -150,10 +196,11 @@ func (r *wsRun) steal(self int, scratch *[]dag.NodeID) (dag.NodeID, bool) {
 			r.deques[self].pushBatch(got[1:])
 			r.notify(len(got) - 1)
 		}
+		first := got[0]
 		*scratch = got[:0]
-		return got[0], true
+		return first, true
 	}
-	return 0, false
+	return wsItem{}, false
 }
 
 // worker is one scheduler goroutine: execute the local deque depth-first,
@@ -162,9 +209,9 @@ func (r *wsRun) worker(ctx context.Context, self int) {
 	q := r.deques[self]
 	n := int64(len(r.values))
 	parentBuf := make([]uint64, 0, 16)
-	batch := make([]dag.NodeID, 0, 16)
-	stealBuf := make([]dag.NodeID, 0, 16)
-	var next dag.NodeID
+	batch := make([]wsItem, 0, 16)
+	stealBuf := make([]wsItem, 0, 16)
+	var next wsItem
 	have := false
 	for {
 		if !have {
@@ -183,15 +230,47 @@ func (r *wsRun) worker(ctx context.Context, self int) {
 			}
 			have = true
 		}
-		// One cheap cancellation poll per node: a non-blocking receive on a
+		// One cheap cancellation poll per item: a non-blocking receive on a
 		// not-ready channel stays on its lock-free fast path.
 		select {
 		case <-ctx.Done():
 			return
 		default:
 		}
-		id := next
+		it := next
 		have = false
+
+		// Split-work protocol: the first worker to touch a node stakes out
+		// its slice counter and publishes slices 2..chunks for others to
+		// steal, then burns slice 1 itself. Whichever worker's decrement
+		// hits zero falls through to finalize the node; everyone else goes
+		// back for more work. The counter store precedes the publish (deque
+		// mutex), so slice holders always see it initialized, and the
+		// decrement chain orders every slice's spin before the finalize.
+		if r.splitWork > 0 {
+			if r.chunks == 1 {
+				spin(r.splitWork)
+			} else {
+				if it.chunk == 0 {
+					r.remaining[it.id].Store(int32(r.chunks))
+					batch = batch[:0]
+					for k := int32(2); k <= int32(r.chunks); k++ {
+						batch = append(batch, wsItem{id: it.id, chunk: k})
+					}
+					q.pushBatch(batch)
+					r.notify(len(batch))
+					r.markSplit(self)
+					spin(r.chunkSize(1))
+				} else {
+					r.markSplit(self)
+					spin(r.chunkSize(int(it.chunk)))
+				}
+				if r.remaining[it.id].Add(-1) > 0 {
+					continue
+				}
+			}
+		}
+		id := it.id
 
 		parentBuf = parentBuf[:0]
 		for _, p := range r.d.Parents(id) {
@@ -204,7 +283,7 @@ func (r *wsRun) worker(ctx context.Context, self int) {
 		batch = batch[:0]
 		for _, c := range r.d.Children(id) {
 			if r.pending[c].Add(-1) == 0 {
-				batch = append(batch, c)
+				batch = append(batch, wsItem{id: c})
 			}
 		}
 		if len(batch) > 0 {

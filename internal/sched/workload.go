@@ -32,6 +32,18 @@ type Workload interface {
 	Verify(d *dag.DAG, serial, parallel []uint64) error
 }
 
+// SplitComputable is the optional Workload extension behind the
+// parallel_work spec knob (Nabbit UseParallelNodes). A workload that can
+// separate its emulated busy-work from its value recurrence implements
+// PureCompute, returning the hook with NO spin folded in; the scheduler
+// then burns the work itself via Options.SplitWork, sliced across idle
+// workers, and finalizes the node with the pure hook. Workloads whose
+// "work" is inherent to the value computation cannot split and simply
+// don't implement this — admission rejects parallel_work for them.
+type SplitComputable interface {
+	PureCompute() Compute
+}
+
 // DefaultWorkload is the registry key assumed when a caller names no
 // workload.
 const DefaultWorkload = "pathcount"
@@ -106,6 +118,17 @@ func (w *funcWorkload) Compute(work int) Compute {
 	fn := w.fn
 	return func(id dag.NodeID, parentValues []uint64) uint64 {
 		spin(work)
+		return fn(id, parentValues)
+	}
+}
+
+// PureCompute implements SplitComputable: the recurrence with no emulated
+// work, for split-work runs where the scheduler spins on the workload's
+// behalf. The serial reference still spins inline, so split and unsplit
+// runs verify against the same values (spin never feeds the recurrence).
+func (w *funcWorkload) PureCompute() Compute {
+	fn := w.fn
+	return func(id dag.NodeID, parentValues []uint64) uint64 {
 		return fn(id, parentValues)
 	}
 }

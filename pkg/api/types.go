@@ -11,6 +11,8 @@ const (
 	ShapeRandom   = "random"
 	ShapePipeline = "pipeline"
 	ShapeExplicit = "explicit"
+	ShapeChain    = "chain"
+	ShapeDynamic  = "dynamic"
 )
 
 // State is a run's lifecycle state as serialized on the wire.
@@ -54,15 +56,18 @@ func (e *Edge) UnmarshalJSON(b []byte) error {
 // generated shape.
 type RunSpec struct {
 	Shape    string  `json:"shape"`
-	Nodes    int     `json:"nodes,omitempty"`    // node count (random, explicit)
-	EdgeProb float64 `json:"p,omitempty"`        // forward-edge probability (random)
-	Stages   int     `json:"stages,omitempty"`   // pipeline depth (pipeline)
-	Width    int     `json:"width,omitempty"`    // pipeline width (pipeline)
-	Seed     int64   `json:"seed,omitempty"`     // generator seed (random)
+	Nodes    int     `json:"nodes,omitempty"`    // node count (random, explicit, chain)
+	EdgeProb float64 `json:"p,omitempty"`        // forward-edge probability (random); cross-parent probability (dynamic)
+	Stages   int     `json:"stages,omitempty"`   // pipeline depth (pipeline); expansion depth (dynamic)
+	Width    int     `json:"width,omitempty"`    // pipeline width (pipeline); max branching (dynamic)
+	Seed     int64   `json:"seed,omitempty"`     // generator seed (random, dynamic)
 	Edges    []Edge  `json:"edges,omitempty"`    // literal edge list (explicit)
 	Workload string  `json:"workload,omitempty"` // registered workload name; "" = server default
 	Work     int     `json:"work,omitempty"`     // busy-work iterations per node
 	Workers  int     `json:"workers,omitempty"`  // per-run scheduler pool size; 0 = server default
+	// ParallelWork splits each node's Work across idle scheduler workers
+	// (Nabbit UseParallelNodes). Not valid for the dynamic shape.
+	ParallelWork bool `json:"parallel_work,omitempty"`
 	// Tenant and Priority are server-stamped attribution: who the run was
 	// admitted for (from the X-Tenant header, never this field) and the
 	// tenant's priority class at admission. Both are ignored on submission.
